@@ -1,0 +1,186 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, then times each regeneration (plus the core kernels) with
+   Bechamel — one Test.make per paper artifact.
+
+   Run with:  dune exec bench/main.exe
+*)
+
+let line = String.make 72 '='
+
+let section title = Printf.printf "%s\n%s\n%s\n" line title line
+
+(* --- Part 1: regenerate the paper's evaluation --- *)
+
+let full_run () =
+  let models = Vp_workload.Spec_model.all in
+  let summaries = Vliw_vp.Experiments.run_all models in
+  section "Table 2 (paper: best-case fractions 0.35-0.63, mean ~0.50)";
+  print_string (Vliw_vp.Experiments.render_table2 summaries);
+  section
+    "Table 3 (paper: best-case ratios 0.68-0.98, ~0.80 mean; worst still \
+     close to 1)";
+  print_string (Vliw_vp.Experiments.render_table3 summaries);
+  section "Table 4 (paper: wider machine => lower schedule-length fractions)";
+  print_string
+    (Vliw_vp.Experiments.render_table4 (Vliw_vp.Experiments.table4 models));
+  section "Figure 8 (paper: most executed blocks improve by 1-4 cycles)";
+  print_string (Vliw_vp.Experiments.render_figure8 summaries);
+  section
+    "Comparison with static recovery [4] (paper: their compensation share \
+     significant, ours negligible)";
+  print_string (Vliw_vp.Experiments.render_comparison summaries);
+  section "Worked example (Figures 2/3)";
+  Format.printf "%a@." Vliw_vp.Example.describe ();
+  section
+    "Figure 7 (reconstructed): cycle-by-cycle CCB/OVB contents, r7 mispredicted";
+  Format.printf "%a@." Vp_engine.Engine_trace.pp (Vliw_vp.Example.figure7 ());
+  section
+    "Extension: superblock regions (paper's future work; CCE retire width scaled with the region size)";
+  print_string
+    (Vliw_vp.Experiments.render_regions (Vliw_vp.Experiments.regions models));
+  section
+    "Extension: hyperblocks (if-conversion; speculation under predicates \
+     via old-value restore)";
+  print_string
+    (Vliw_vp.Experiments.render_hyperblocks
+       (Vliw_vp.Experiments.hyperblocks models));
+  section
+    "Extension: hardware-mode validation (run-time VP table vs profile expectation)";
+  print_string
+    (Vliw_vp.Trace_sim.render
+       (List.map
+          (fun s ->
+            ( Vliw_vp.Experiments.name s,
+              Vliw_vp.Trace_sim.run s.Vliw_vp.Experiments.pipeline ))
+          summaries));
+  section "Ablations (compress)";
+  let ablation title sweep =
+    print_string
+      (Vliw_vp.Experiments.render_ablation ~title
+         (Vliw_vp.Experiments.ablate Vp_workload.Spec_model.compress sweep));
+    print_newline ()
+  in
+  ablation "profile threshold" Vliw_vp.Experiments.threshold_sweep;
+  ablation "prediction budget per block"
+    Vliw_vp.Experiments.prediction_budget_sweep;
+  ablation "CCB capacity" Vliw_vp.Experiments.ccb_capacity_sweep;
+  ablation "Synchronization-register width"
+    Vliw_vp.Experiments.sync_width_sweep;
+  ablation "CCE retire width" Vliw_vp.Experiments.cce_width_sweep;
+  ablation "profiling predictors" Vliw_vp.Experiments.predictor_sweep;
+  ablation "block-latency accounting" Vliw_vp.Experiments.accounting_sweep;
+  print_string
+    (Vliw_vp.Experiments.render_recovery_sensitivity ~bench:"compress"
+       (Vliw_vp.Experiments.recovery_sensitivity
+          Vp_workload.Spec_model.compress))
+
+(* --- Part 2: Bechamel micro-benchmarks --- *)
+
+(* A reduced configuration so each timed sample is one full (but small)
+   experiment run rather than a multi-second job. *)
+let bench_config =
+  { Vliw_vp.Config.default with trace_length = 2_000; monte_carlo_draws = 16 }
+
+let bench_model = Vp_workload.Spec_model.compress
+
+let bench_summary () =
+  Vliw_vp.Experiments.run_benchmark ~config:bench_config bench_model
+
+(* Shared inputs for the kernel benchmarks, built once. *)
+let kernel_block =
+  let w = Vp_workload.Workload.generate bench_model in
+  (Vp_ir.Program.nth (Vp_workload.Workload.program w) 0).block
+
+let kernel_machine = Vp_machine.Descr.playdoh ~width:4
+let kernel_spec = Vliw_vp.Example.spec ()
+let kernel_reference = Vliw_vp.Example.reference ()
+
+let tests =
+  let open Bechamel in
+  [
+    (* One Test.make per paper artifact. *)
+    Test.make ~name:"table2"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_table2 [ bench_summary () ]));
+    Test.make ~name:"table3"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_table3 [ bench_summary () ]));
+    Test.make ~name:"table4"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_table4
+             (Vliw_vp.Experiments.table4 ~config:bench_config [ bench_model ])));
+    Test.make ~name:"figure8"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_figure8 [ bench_summary () ]));
+    Test.make ~name:"comparison"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_comparison [ bench_summary () ]));
+    Test.make ~name:"example(fig2/3)"
+      (Staged.stage (fun () -> Vliw_vp.Example.cases ()));
+    Test.make ~name:"regions"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.render_regions
+             (Vliw_vp.Experiments.regions ~config:bench_config [ bench_model ])));
+    Test.make ~name:"overlap-validation"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.overlap_validation ~config:bench_config
+             ~executions:100 [ bench_model ]));
+    Test.make ~name:"hardware-validation"
+      (Staged.stage (fun () ->
+           Vliw_vp.Trace_sim.run ~executions:500
+             (Vliw_vp.Pipeline.run ~config:bench_config bench_model)));
+    Test.make ~name:"ablation:threshold"
+      (Staged.stage (fun () ->
+           Vliw_vp.Experiments.ablate ~config:bench_config bench_model
+             Vliw_vp.Experiments.threshold_sweep));
+    (* Core kernels. *)
+    Test.make ~name:"kernel:list-schedule"
+      (Staged.stage (fun () ->
+           Vp_sched.List_scheduler.schedule_block kernel_machine kernel_block));
+    Test.make ~name:"kernel:transform"
+      (Staged.stage (fun () ->
+           Vp_vspec.Transform.apply kernel_machine
+             ~rate:(fun _ -> Some 0.9)
+             kernel_block));
+    Test.make ~name:"kernel:dual-engine-run"
+      (Staged.stage (fun () ->
+           Vp_engine.Dual_engine.run kernel_spec ~reference:kernel_reference
+             ~live_in:Vliw_vp.Pipeline.live_in ~outcomes:[| false; true |]));
+    Test.make ~name:"kernel:stride-predictor"
+      (Staged.stage
+         (let values = List.init 512 (fun i -> 7 * i) in
+          fun () ->
+            Vp_predict.Predictor.accuracy
+              (Vp_predict.Stride.as_predictor ())
+              values));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"vliw-vp" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result -> rows := (name, ols_result) :: !rows)
+    results;
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare !rows)
+
+let () =
+  full_run ();
+  run_bechamel ()

@@ -1,0 +1,578 @@
+(* Command-line driver for the VLIW value-prediction reproduction.
+
+   Every experiment of the paper is reachable from here:
+
+     vliw_vp example              the Figures 2/3 worked example
+     vliw_vp summary  -b li       workload + profile overview
+     vliw_vp schedule -b li -i 3  original vs speculative schedule of a block
+     vliw_vp table2 / table3 / table4 / fig8 / compare / all
+*)
+
+let default_models = Vp_workload.Spec_model.all
+
+let models_of_names = function
+  | [] -> Ok default_models
+  | names ->
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Vp_workload.Spec_model.by_name n with
+            | Some m -> resolve (m :: acc) rest
+            | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" n)))
+      in
+      resolve [] names
+
+let config ~width ~seed ~threshold =
+  let base = Vliw_vp.Config.default in
+  {
+    base with
+    Vliw_vp.Config.width;
+    seed;
+    policy = { base.policy with threshold };
+  }
+
+(* --- common command-line terms --- *)
+
+open Cmdliner
+
+let width_t =
+  let doc = "Machine issue width (2, 4, 8 or 16)." in
+  Arg.(value & opt int 4 & info [ "w"; "width" ] ~docv:"WIDTH" ~doc)
+
+let seed_t =
+  let doc = "Master random seed (workloads, scenario sampling)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let threshold_t =
+  let doc = "Value-profile prediction threshold (paper: 0.65)." in
+  Arg.(value & opt float 0.65 & info [ "threshold" ] ~docv:"RATE" ~doc)
+
+let benchmarks_t =
+  let doc =
+    "Comma-separated benchmark subset (default: all eight). Names: \
+     compress, ijpeg (alias tjpeg), li, m88ksim, vortex, hydro2d, swim, \
+     tomcatv."
+  in
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
+
+let csv_t =
+  let doc = "Emit CSV instead of the aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let with_setup f =
+  let run width seed threshold names =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models ->
+        f ~config:(config ~width ~seed ~threshold) ~models;
+        `Ok ()
+  in
+  Term.(ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t))
+
+(* --- commands --- *)
+
+let example_cmd =
+  let run () = Format.printf "%a@." Vliw_vp.Example.describe () in
+  Cmd.v
+    (Cmd.info "example"
+       ~doc:"Reproduce the paper's Figures 2/3 worked example")
+    Term.(const run $ const ())
+
+let summary_cmd =
+  let f ~config ~models =
+    List.iter
+      (fun model ->
+        let p = Vliw_vp.Pipeline.run ~config model in
+        Format.printf "%a@." Vp_workload.Workload.pp_summary p.workload;
+        let spec =
+          Array.fold_left
+            (fun acc (b : Vliw_vp.Pipeline.block_eval) ->
+              if b.spec <> None then acc + 1 else acc)
+            0 p.blocks
+        in
+        Format.printf
+          "mean prediction rate %.3f; %d/%d blocks speculated@.@."
+          (Vp_profile.Value_profile.mean_rate p.profile)
+          spec (Array.length p.blocks))
+      models
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Workload and profile overview per benchmark")
+    (with_setup f)
+
+let profile_cmd =
+  let f ~config ~models =
+    List.iter
+      (fun model ->
+        let workload =
+          Vp_workload.Workload.generate ~seed:config.Vliw_vp.Config.seed model
+        in
+        let profile = Vp_profile.Value_profile.profile workload in
+        Format.printf "=== %s ===@.%a@."
+          model.Vp_workload.Spec_model.name Vp_profile.Value_profile.pp
+          profile)
+      models
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-load stride/FCM value profile")
+    (with_setup f)
+
+let schedule_cmd =
+  let block_t =
+    let doc = "Block index within the benchmark." in
+    Arg.(value & opt int 0 & info [ "i"; "block" ] ~docv:"INDEX" ~doc)
+  in
+  let dot_t =
+    let doc =
+      "Emit the transformed block's dependence graph as Graphviz DOT (critical path highlighted) instead of the schedules."
+    in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run width seed threshold names index dot =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models ->
+        let config = config ~width ~seed ~threshold in
+        List.iter
+          (fun model ->
+            let p = Vliw_vp.Pipeline.run ~config model in
+            if index < 0 || index >= Array.length p.blocks then
+              Format.printf "%s: block %d out of range (0..%d)@."
+                model.Vp_workload.Spec_model.name index
+                (Array.length p.blocks - 1)
+            else
+              match p.blocks.(index).spec with
+              | Some spec ->
+                  if dot then
+                    print_string
+                      (Vp_ir.Depgraph.to_dot
+                         ~highlight:(Vp_ir.Depgraph.critical_path spec.sb.graph)
+                         spec.sb.graph)
+                  else Format.printf "%a@." Vp_vspec.Spec_block.pp spec.sb
+              | None ->
+                  Format.printf "%s block %d not speculated: %s@."
+                    model.Vp_workload.Spec_model.name index
+                    (Option.value ~default:"?" p.blocks.(index).skip_reason))
+          models;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Show a block's original and speculative schedules")
+    Term.(
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ block_t
+       $ dot_t))
+
+let table_cmd name ~doc render =
+  let run width seed threshold names csv =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models ->
+        let config = config ~width ~seed ~threshold in
+        let format = if csv then `Csv else `Ascii in
+        print_string (render ~format (Vliw_vp.Experiments.run_all ~config models));
+        `Ok ()
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t))
+
+let table4_cmd =
+  let run width seed threshold names csv =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models ->
+        let config = config ~width ~seed ~threshold in
+        let format = if csv then `Csv else `Ascii in
+        print_string
+          (Vliw_vp.Experiments.render_table4 ~format
+             (Vliw_vp.Experiments.table4 ~config models));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Reproduce Table 4 (issue width 4 vs 8)")
+    Term.(
+      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t))
+
+let regions_cmd =
+  let f ~config ~models =
+    print_string
+      (Vliw_vp.Experiments.render_regions
+         (Vliw_vp.Experiments.regions ~config models))
+  in
+  Cmd.v
+    (Cmd.info "regions"
+       ~doc:
+         "Superblock-region extension: basic-block vs region-granularity value prediction")
+    (with_setup f)
+
+let ablate_cmd =
+  let sweep_t =
+    let doc =
+      "Which sweep: threshold, predictions, ccb, syncbits, ccewidth, predictors, accounting."
+    in
+    Arg.(value & opt string "threshold" & info [ "sweep" ] ~docv:"NAME" ~doc)
+  in
+  let run width seed threshold names sweep =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models -> (
+        let config = config ~width ~seed ~threshold in
+        match
+          List.assoc_opt sweep
+            [
+              ("threshold", Vliw_vp.Experiments.threshold_sweep);
+              ("predictions", Vliw_vp.Experiments.prediction_budget_sweep);
+              ("ccb", Vliw_vp.Experiments.ccb_capacity_sweep);
+              ("syncbits", Vliw_vp.Experiments.sync_width_sweep);
+              ("ccewidth", Vliw_vp.Experiments.cce_width_sweep);
+              ("predictors", Vliw_vp.Experiments.predictor_sweep);
+              ("accounting", Vliw_vp.Experiments.accounting_sweep);
+            ]
+        with
+        | None -> `Error (false, Printf.sprintf "unknown sweep %S" sweep)
+        | Some settings ->
+            List.iter
+              (fun model ->
+                print_string
+                  (Vliw_vp.Experiments.render_ablation
+                     ~title:
+                       (Printf.sprintf "%s: %s sweep"
+                          model.Vp_workload.Spec_model.name sweep)
+                     (Vliw_vp.Experiments.ablate ~config model settings));
+                print_newline ())
+              models;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Ablation sweeps over the design's knobs")
+    Term.(
+      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ sweep_t))
+
+let stability_cmd =
+  let f ~config ~models =
+    print_string
+      (Vliw_vp.Experiments.render_stability
+         (Vliw_vp.Experiments.stability ~config models))
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:"Headline results across workload seeds (mean +/- sd)")
+    (with_setup f)
+
+let overlap_cmd =
+  let f ~config ~models =
+    print_string
+      (Vliw_vp.Experiments.render_overlap
+         (Vliw_vp.Experiments.overlap_validation ~config models))
+  in
+  Cmd.v
+    (Cmd.info "overlap"
+       ~doc:
+         "Validate the per-block accounting against a shared-clock block sequence")
+    (with_setup f)
+
+let hyperblocks_cmd =
+  let f ~config ~models =
+    print_string
+      (Vliw_vp.Experiments.render_hyperblocks
+         (Vliw_vp.Experiments.hyperblocks ~config models))
+  in
+  Cmd.v
+    (Cmd.info "hyperblocks"
+       ~doc:
+         "Hyperblock (if-conversion) extension: predicated regions vs basic \
+          blocks")
+    (with_setup f)
+
+let hardware_cmd =
+  let f ~config ~models =
+    print_string
+      (Vliw_vp.Trace_sim.render
+         (List.map
+            (fun model ->
+              ( model.Vp_workload.Spec_model.name,
+                Vliw_vp.Trace_sim.run (Vliw_vp.Pipeline.run ~config model) ))
+            models))
+  in
+  Cmd.v
+    (Cmd.info "hardware"
+       ~doc:
+         "Hardware-mode validation: whole-program trace simulation with a run-time value-prediction table")
+    (with_setup f)
+
+let run_cmd =
+  let file_t =
+    let doc = "Assembly file (see lib/ir/asm.mli for the syntax)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let rate_t =
+    let doc = "Profiled prediction rate for loads without a !R annotation." in
+    Arg.(value & opt float 0.9 & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let trace_t =
+    let doc = "Print the cycle-by-cycle engine trace (the Figure-7 view) of every simulated scenario." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run width seed threshold file default_rate show_trace =
+    ignore seed;
+    match Vp_ir.Asm.parse_file file with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok (block, rates) -> (
+        let machine = Vp_machine.Descr.playdoh ~width in
+        let rate (op : Vp_ir.Operation.t) =
+          if not (Vp_ir.Operation.is_load op) then None
+          else
+            Some (Option.value ~default:default_rate (List.assoc_opt op.id rates))
+        in
+        let policy = { Vp_vspec.Policy.default with threshold } in
+        match Vp_vspec.Transform.apply ~policy machine ~rate block with
+        | Vp_vspec.Transform.Unchanged reason ->
+            Format.printf "not speculated: %s@.%a@." reason
+              Vp_sched.Schedule.pp
+              (Vp_sched.List_scheduler.schedule_block machine block);
+            `Ok ()
+        | Vp_vspec.Transform.Speculated sb ->
+            Format.printf "%a@.@." Vp_vspec.Spec_block.pp sb;
+            let load_values (i : int) =
+              match (Vp_ir.Block.op block i).stream with
+              | Some s -> 1000 + (37 * s)
+              | None -> 0
+            in
+            let reference =
+              Vp_engine.Reference.run block ~load_values
+                ~live_in:Vliw_vp.Pipeline.live_in
+            in
+            let n = Vp_vspec.Spec_block.num_predictions sb in
+            if n <= 4 then
+              List.iter
+                (fun outcomes ->
+                  let observer, trace =
+                    Vp_engine.Engine_trace.collector ()
+                  in
+                  let r =
+                    Vp_engine.Dual_engine.run ~observer sb ~reference
+                      ~live_in:Vliw_vp.Pipeline.live_in ~outcomes
+                  in
+                  Format.printf
+                    "%a: %d cycles (original %d), %d stalls, %d flushed, %d recomputed@."
+                    Vp_engine.Scenario.pp outcomes r.cycles
+                    (Vp_vspec.Spec_block.original_length sb)
+                    r.stall_cycles r.flushed r.recomputed;
+                  if show_trace then
+                    Format.printf "%a@." Vp_engine.Engine_trace.pp (trace ()))
+                (Vp_engine.Scenario.enumerate n)
+            else
+              Format.printf
+                "(%d predictions: too many scenarios to enumerate)@." n;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Transform and simulate a hand-written block (assembly syntax, see lib/ir/asm.mli)")
+    Term.(
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ file_t $ rate_t $ trace_t))
+
+let simulate_cmd =
+  let file_t =
+    let doc = "Assembly program file (blocks separated by 'label NAME [* COUNT]:' lines)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let rate_t =
+    let doc = "Profiled prediction rate for loads without a !R annotation." in
+    Arg.(value & opt float 0.9 & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let length_t =
+    let doc = "Dynamic block executions to simulate." in
+    Arg.(value & opt int 200 & info [ "n"; "length" ] ~docv:"N" ~doc)
+  in
+  let run width seed threshold file default_rate length =
+    let ic = open_in file in
+    let source =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Vp_ir.Asm.parse_program ~name:(Filename.basename file) source with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok (program, rates) ->
+        let machine = Vp_machine.Descr.playdoh ~width in
+        let policy = { Vp_vspec.Policy.default with threshold } in
+        let live_in = Vliw_vp.Pipeline.live_in in
+        let load_values (op : Vp_ir.Operation.t) =
+          match op.stream with Some s -> 1000 + (37 * s) | None -> 0
+        in
+        (* compile every block once *)
+        let compiled =
+          Array.mapi
+            (fun bi (wb : Vp_ir.Program.weighted_block) ->
+              let rate (op : Vp_ir.Operation.t) =
+                if not (Vp_ir.Operation.is_load op) then None
+                else
+                  Some
+                    (Option.value ~default:default_rate
+                       (List.assoc_opt ((bi * 1000) + op.id) rates))
+              in
+              let reference =
+                Vp_engine.Reference.run wb.block
+                  ~load_values:(fun i -> load_values (Vp_ir.Block.op wb.block i))
+                  ~live_in
+              in
+              let schedule =
+                Vp_sched.List_scheduler.schedule_block machine wb.block
+              in
+              ( wb,
+                reference,
+                schedule,
+                match Vp_vspec.Transform.apply ~policy machine ~rate wb.block with
+                | Vp_vspec.Transform.Speculated sb -> Some sb
+                | Vp_vspec.Transform.Unchanged _ -> None ))
+            (Vp_ir.Program.blocks program)
+        in
+        let rng = Vp_util.Rng.create seed in
+        let weights =
+          Array.map
+            (fun ((wb : Vp_ir.Program.weighted_block), _, _, _) ->
+              float_of_int (max 1 wb.count))
+            compiled
+        in
+        let baseline = ref 0 in
+        let items =
+          List.init length (fun _ ->
+              let bi = Vp_util.Rng.weighted_index rng weights in
+              let _, reference, schedule, spec = compiled.(bi) in
+              baseline := !baseline + Vp_sched.Schedule.length schedule;
+              match spec with
+              | None -> Vp_engine.Sequence_engine.Plain (schedule, reference)
+              | Some sb ->
+                  let rates =
+                    Array.map
+                      (fun (p : Vp_vspec.Spec_block.predicted_load) -> p.rate)
+                      sb.predicted
+                  in
+                  Vp_engine.Sequence_engine.Speculated
+                    {
+                      sb;
+                      reference;
+                      outcomes = Vp_engine.Scenario.sample rng ~rates;
+                    })
+        in
+        let r = Vp_engine.Sequence_engine.run ~live_in items in
+        Printf.printf
+          "%d dynamic blocks: %d cycles with value prediction, %d without (%.3fx);\n%d stalls, %d flushed, %d recomputed, CCB high water %d, state %s\n"
+          length r.total_cycles !baseline
+          (float_of_int !baseline /. float_of_int (max 1 r.total_cycles))
+          r.stall_cycles r.flushed r.recomputed r.ccb_high_water
+          (if r.state_ok then "ok" else "MISMATCH");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Whole-program simulation of a hand-written assembly program on the shared-clock sequence engine")
+    Term.(
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ file_t $ rate_t
+       $ length_t))
+
+let report_cmd =
+  let out_t =
+    let doc = "Write the markdown report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run width seed threshold names out =
+    match models_of_names names with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok models -> (
+        let config = config ~width ~seed ~threshold in
+        match out with
+        | Some path ->
+            Vliw_vp.Report.write_file ~config ~models ~path ();
+            Printf.printf "report written to %s
+" path;
+            `Ok ()
+        | None ->
+            print_string (Vliw_vp.Report.generate ~config ~models ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate the full evaluation as one markdown document")
+    Term.(
+      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ out_t))
+
+let all_cmd =
+  let f ~config ~models =
+    let summaries = Vliw_vp.Experiments.run_all ~config models in
+    print_string (Vliw_vp.Experiments.render_table2 summaries);
+    print_newline ();
+    print_string (Vliw_vp.Experiments.render_table3 summaries);
+    print_newline ();
+    print_string
+      (Vliw_vp.Experiments.render_table4
+         (Vliw_vp.Experiments.table4 ~config models));
+    print_newline ();
+    print_string (Vliw_vp.Experiments.render_figure8 summaries);
+    print_newline ();
+    print_string (Vliw_vp.Experiments.render_comparison summaries);
+    print_newline ();
+    print_string
+      (Vliw_vp.Experiments.render_regions
+         (Vliw_vp.Experiments.regions ~config models));
+    print_newline ();
+    print_string
+      (Vliw_vp.Experiments.render_overlap
+         (Vliw_vp.Experiments.overlap_validation ~config models));
+    print_newline ();
+    Format.printf "%a@." Vliw_vp.Example.describe ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (tables 2-4, figure 8, comparison, example)")
+    (with_setup f)
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'Value Prediction in VLIW Machines' (Nakra, Gupta, \
+     Soffa, 1999)"
+  in
+  Cmd.group
+    (Cmd.info "vliw_vp" ~version:"1.0.0" ~doc)
+    [
+      example_cmd;
+      summary_cmd;
+      profile_cmd;
+      schedule_cmd;
+      table_cmd "table2"
+        ~doc:"Reproduce Table 2 (execution-time fractions)"
+        (fun ~format s -> Vliw_vp.Experiments.render_table2 ~format s);
+      table_cmd "table3"
+        ~doc:"Reproduce Table 3 (schedule-length fractions)"
+        (fun ~format s -> Vliw_vp.Experiments.render_table3 ~format s);
+      table4_cmd;
+      table_cmd "fig8"
+        ~doc:"Reproduce Figure 8 (schedule-length change distribution)"
+        (fun ~format s ->
+          ignore format;
+          Vliw_vp.Experiments.render_figure8 s);
+      table_cmd "compare"
+        ~doc:"Compare against the static-recovery scheme of [4]"
+        (fun ~format s -> Vliw_vp.Experiments.render_comparison ~format s);
+      regions_cmd;
+      hyperblocks_cmd;
+      ablate_cmd;
+      hardware_cmd;
+      overlap_cmd;
+      stability_cmd;
+      report_cmd;
+      run_cmd;
+      simulate_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/predictor_tour.ml: List Printf Vp_predict Vp_util Vp_workload

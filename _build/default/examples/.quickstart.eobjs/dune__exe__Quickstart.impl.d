@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Format List Opcode Operation Vliw_vp Vp_engine Vp_ir Vp_machine Vp_vspec

@@ -1,0 +1,1 @@
+examples/recovery_comparison.ml: Array List Printf Vliw_vp Vp_engine Vp_util Vp_vspec Vp_workload

@@ -1,0 +1,1 @@
+examples/region_tour.ml: Array Format List Printf String Vliw_vp Vp_ir Vp_metrics Vp_region Vp_workload

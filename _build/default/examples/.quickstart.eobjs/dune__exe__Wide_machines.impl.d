@@ -1,0 +1,1 @@
+examples/wide_machines.ml: List Printf Vliw_vp Vp_metrics Vp_util Vp_workload

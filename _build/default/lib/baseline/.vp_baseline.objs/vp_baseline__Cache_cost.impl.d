@@ -1,0 +1,1 @@
+lib/baseline/cache_cost.ml: Array Layout Vp_cache

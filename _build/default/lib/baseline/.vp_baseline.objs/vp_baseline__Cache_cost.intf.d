@@ -1,0 +1,1 @@
+lib/baseline/cache_cost.mli: Layout Vp_cache Vp_engine

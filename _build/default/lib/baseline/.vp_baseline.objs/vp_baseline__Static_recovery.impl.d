@@ -1,0 +1,1 @@
+lib/baseline/static_recovery.ml: Array List Printf Vp_ir Vp_sched Vp_vspec

@@ -1,0 +1,1 @@
+lib/baseline/static_recovery.mli: Vp_engine Vp_machine Vp_sched Vp_vspec

@@ -1,0 +1,30 @@
+type result = {
+  stats : Vp_cache.Icache.stats;
+  extra_cycles : int;
+  cycles_per_execution : float;
+}
+
+let simulate ~icache ~layout ~miss_penalty ~touch_comp ~trace =
+  Vp_cache.Icache.reset icache;
+  let touch (addr, bytes) =
+    if bytes > 0 then ignore (Vp_cache.Icache.access_range icache ~addr ~bytes)
+  in
+  Array.iter
+    (fun (b, outcomes) ->
+      touch (Layout.main_range layout b);
+      if touch_comp then
+        Array.iteri
+          (fun k correct ->
+            if not correct then
+              touch (Layout.comp_range layout ~block:b ~prediction:k))
+          outcomes)
+    trace;
+  let stats = Vp_cache.Icache.stats icache in
+  let extra_cycles = stats.misses * miss_penalty in
+  {
+    stats;
+    extra_cycles;
+    cycles_per_execution =
+      (if Array.length trace = 0 then 0.0
+       else float_of_int extra_cycles /. float_of_int (Array.length trace));
+  }

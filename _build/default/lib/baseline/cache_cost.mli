@@ -1,0 +1,27 @@
+(** Instruction-cache cost of a dynamic execution trace over a layout.
+
+    Walks a trace of block executions through an instruction cache: each
+    execution fetches the block's main code and — when [touch_comp] is set,
+    i.e. under the static-recovery scheme — the compensation block of every
+    mispredicted load. The resulting miss counts, times a miss penalty,
+    give the cache component of each scheme's overhead; the difference
+    between a run with compensation blocks in memory and one without is the
+    pollution cost the paper attributes to the prior scheme. *)
+
+type result = {
+  stats : Vp_cache.Icache.stats;
+  extra_cycles : int;  (** misses × miss penalty *)
+  cycles_per_execution : float;
+}
+
+val simulate :
+  icache:Vp_cache.Icache.t ->
+  layout:Layout.t ->
+  miss_penalty:int ->
+  touch_comp:bool ->
+  trace:(int * Vp_engine.Scenario.t) array ->
+  result
+(** [simulate ~icache ~layout ~miss_penalty ~touch_comp ~trace] resets the
+    cache, then replays the trace: element [(b, outcomes)] is one execution
+    of block [b] under the given prediction outcomes (an empty scenario
+    means the block makes no predictions). *)

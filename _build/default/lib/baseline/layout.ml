@@ -1,0 +1,51 @@
+type t = {
+  main : (int * int) array;  (* per block: address, bytes *)
+  comp : (int * int) array array;  (* per block, per prediction *)
+  total_bytes : int;
+  main_bytes : int;
+}
+
+let build_sized ~main_bytes:sizes ~comp_bytes () =
+  if Array.length sizes <> Array.length comp_bytes then
+    invalid_arg "Layout.build_sized: array length mismatch";
+  let cursor = ref 0 in
+  let main_bytes = ref 0 in
+  let place bytes =
+    if bytes < 0 then invalid_arg "Layout.build_sized: negative size";
+    let addr = !cursor in
+    cursor := !cursor + bytes;
+    (addr, bytes)
+  in
+  let main = Array.make (Array.length sizes) (0, 0) in
+  let comp = Array.make (Array.length sizes) [||] in
+  Array.iteri
+    (fun b bytes ->
+      main.(b) <- place bytes;
+      main_bytes := !main_bytes + snd main.(b);
+      comp.(b) <- Array.map place comp_bytes.(b))
+    sizes;
+  { main; comp; total_bytes = !cursor; main_bytes = !main_bytes }
+
+let build ?(bytes_per_instruction = 16) ~main_instructions ~comp_instructions
+    () =
+  if bytes_per_instruction <= 0 then
+    invalid_arg "Layout.build: bytes_per_instruction <= 0";
+  if Array.length main_instructions <> Array.length comp_instructions then
+    invalid_arg "Layout.build: array length mismatch";
+  build_sized
+    ~main_bytes:(Array.map (fun n -> n * bytes_per_instruction) main_instructions)
+    ~comp_bytes:
+      (Array.map
+         (Array.map (fun n -> n * bytes_per_instruction))
+         comp_instructions)
+    ()
+
+let main_range t b = t.main.(b)
+
+let comp_range t ~block ~prediction = t.comp.(block).(prediction)
+
+let total_bytes t = t.total_bytes
+
+let code_growth t =
+  if t.main_bytes = 0 then 0.0
+  else float_of_int (t.total_bytes - t.main_bytes) /. float_of_int t.main_bytes

@@ -1,0 +1,45 @@
+(** Instruction-memory layout of a compiled program.
+
+    Assigns byte addresses to every block's main code and (for the
+    static-recovery scheme) its compensation blocks, so that an instruction
+    cache can be driven over a dynamic execution trace. Each block's
+    compensation blocks are placed directly after its main code — the
+    closest-possible placement, which still pollutes the cache exactly as
+    Section 1 describes; the dual-engine layout simply has no compensation
+    code in instruction memory at all.
+
+    One VLIW instruction occupies [bytes_per_instruction] bytes (default:
+    4 bytes per operation slot times the machine's issue width — classic
+    uncompressed VLIW encoding). *)
+
+type t
+
+val build :
+  ?bytes_per_instruction:int ->
+  main_instructions:int array ->
+  comp_instructions:int array array ->
+  unit ->
+  t
+(** [build ~main_instructions ~comp_instructions ()] — index [b] of
+    [main_instructions] is block [b]'s main instruction count;
+    [comp_instructions.(b)] lists its compensation blocks' instruction
+    counts (empty for unspeculated blocks or the dual-engine scheme).
+    [bytes_per_instruction] defaults to 16 (a 4-wide machine). *)
+
+val build_sized :
+  main_bytes:int array -> comp_bytes:int array array -> unit -> t
+(** Like {!build}, but with exact byte sizes (e.g. from
+    [Vp_ir.Encoding.block_bytes]) instead of instruction counts times a
+    fixed width. *)
+
+val main_range : t -> int -> int * int
+(** [main_range t b] is [(addr, bytes)] of block [b]'s main code. A block
+    with zero instructions gets [bytes = 0] (never touched). *)
+
+val comp_range : t -> block:int -> prediction:int -> int * int
+(** Address range of one compensation block. *)
+
+val total_bytes : t -> int
+
+val code_growth : t -> float
+(** Bytes of compensation code over bytes of main code. *)

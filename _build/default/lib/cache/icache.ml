@@ -1,0 +1,96 @@
+type stats = { accesses : int; hits : int; misses : int }
+
+type way = { mutable tag : int; mutable valid : bool; mutable last_use : int }
+
+type t = {
+  line_bytes : int;
+  ways : int;
+  sets : way array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(line_bytes = 32) ?(ways = 2) ~size_bytes () =
+  if not (is_power_of_two line_bytes) then
+    invalid_arg "Icache.create: line_bytes must be a power of two";
+  if ways < 1 then invalid_arg "Icache.create: ways < 1";
+  if size_bytes <= 0 || size_bytes mod (line_bytes * ways) <> 0 then
+    invalid_arg "Icache.create: size not divisible by line_bytes * ways";
+  let num_sets = size_bytes / (line_bytes * ways) in
+  if not (is_power_of_two num_sets) then
+    invalid_arg "Icache.create: number of sets must be a power of two";
+  let fresh_set _ =
+    Array.init ways (fun _ -> { tag = 0; valid = false; last_use = 0 })
+  in
+  {
+    line_bytes;
+    ways;
+    sets = Array.init num_sets fresh_set;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+  }
+
+let line_bytes t = t.line_bytes
+let num_sets t = Array.length t.sets
+let ways t = t.ways
+
+let access t addr =
+  assert (addr >= 0);
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let line = addr / t.line_bytes in
+  let set = t.sets.(line mod num_sets t) in
+  let tag = line / num_sets t in
+  let hit = Array.find_opt (fun w -> w.valid && w.tag = tag) set in
+  match hit with
+  | Some w ->
+      w.last_use <- t.clock;
+      t.hits <- t.hits + 1;
+      `Hit
+  | None ->
+      (* True-LRU victim: the least recently used way (invalid wins). *)
+      let victim =
+        Array.fold_left
+          (fun best w ->
+            if not w.valid then if best.valid then w else best
+            else if best.valid && w.last_use < best.last_use then w
+            else best)
+          set.(0) set
+      in
+      victim.tag <- tag;
+      victim.valid <- true;
+      victim.last_use <- t.clock;
+      `Miss
+
+let access_range t ~addr ~bytes =
+  assert (bytes > 0);
+  let first = addr / t.line_bytes and last = (addr + bytes - 1) / t.line_bytes in
+  let misses = ref 0 in
+  for line = first to last do
+    match access t (line * t.line_bytes) with
+    | `Miss -> incr misses
+    | `Hit -> ()
+  done;
+  !misses
+
+let stats t =
+  { accesses = t.accesses; hits = t.hits; misses = t.accesses - t.hits }
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int (t.accesses - t.hits) /. float_of_int t.accesses
+
+let reset t =
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0;
+  Array.iter
+    (Array.iter (fun w ->
+         w.valid <- false;
+         w.tag <- 0;
+         w.last_use <- 0))
+    t.sets

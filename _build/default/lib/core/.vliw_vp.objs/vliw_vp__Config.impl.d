@@ -1,0 +1,1 @@
+lib/core/config.ml: Vp_cache Vp_engine Vp_machine Vp_predict Vp_vspec

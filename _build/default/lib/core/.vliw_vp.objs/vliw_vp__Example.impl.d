@@ -1,0 +1,1 @@
+lib/core/example.ml: Array Format List Pipeline Printf Vp_baseline Vp_engine Vp_ir Vp_machine Vp_sched Vp_vspec

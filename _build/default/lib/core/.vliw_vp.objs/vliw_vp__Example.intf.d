@@ -1,0 +1,1 @@
+lib/core/example.mli: Format Vp_engine Vp_ir Vp_machine Vp_vspec

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Buffer Config Float Format List Pipeline Printf Vp_baseline Vp_engine Vp_ir Vp_metrics Vp_predict Vp_profile Vp_region Vp_sched Vp_util Vp_vspec Vp_workload

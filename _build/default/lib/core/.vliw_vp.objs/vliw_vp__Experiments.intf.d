@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Config Pipeline Vp_metrics Vp_region Vp_util Vp_workload

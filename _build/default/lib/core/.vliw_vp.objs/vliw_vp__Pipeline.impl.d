@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Config Hashtbl List Option Vp_baseline Vp_engine Vp_ir Vp_metrics Vp_profile Vp_sched Vp_util Vp_vspec Vp_workload

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Vp_baseline Vp_engine Vp_ir Vp_metrics Vp_profile Vp_vspec Vp_workload

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Config Example Experiments Format Fun List Printf String Trace_sim Vp_vspec Vp_workload

@@ -1,0 +1,1 @@
+lib/core/trace_sim.ml: Array Config Hashtbl List Option Pipeline Printf Vp_engine Vp_ir Vp_metrics Vp_predict Vp_util Vp_vspec Vp_workload

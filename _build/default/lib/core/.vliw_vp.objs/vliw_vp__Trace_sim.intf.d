@@ -1,0 +1,1 @@
+lib/core/trace_sim.mli: Pipeline Vp_predict

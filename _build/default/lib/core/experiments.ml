@@ -1,0 +1,838 @@
+type comparison = {
+  ours_comp_share : float;
+  recovery_comp_share : float;
+  ours_spec_ratio : float;
+  recovery_spec_ratio : float;
+  cache_extra_share : float;
+  code_growth : float;
+}
+
+type benchmark_summary = {
+  pipeline : Pipeline.t;
+  stats : Vp_metrics.Summary.block_stats array;
+  fractions : Vp_metrics.Summary.time_fractions;
+  ratios : Vp_metrics.Summary.length_ratios;
+  fig8 : Vp_util.Histogram.t;
+  comparison : comparison;
+  mean_rate : float;
+  speculated_blocks : int;
+  total_blocks : int;
+}
+
+let name s = s.pipeline.Pipeline.model.Vp_workload.Spec_model.name
+
+(* A dynamic trace of (block, outcomes) pairs for the cache comparison:
+   blocks drawn proportionally to profiled frequency, outcomes drawn from
+   the profiled rates. *)
+let build_trace (p : Pipeline.t) =
+  let config = p.config in
+  let rng = Vp_util.Rng.create config.seed in
+  let rng = Vp_util.Rng.split_named rng "cache-trace" in
+  let weights =
+    Array.map (fun (b : Pipeline.block_eval) -> float_of_int b.count) p.blocks
+  in
+  Array.init config.trace_length (fun _ ->
+      let b = Vp_util.Rng.weighted_index rng weights in
+      let outcomes =
+        match p.blocks.(b).spec with
+        | Some spec -> Vp_engine.Scenario.sample rng ~rates:spec.rates
+        | None -> [||]
+      in
+      (b, outcomes))
+
+let cache_comparison (p : Pipeline.t) =
+  let config = p.config in
+  (* Exact encoded sizes (the Figure-4 formats); the original schedules of
+     unspeculated blocks encode with empty wait masks. *)
+  let schedule_bytes s =
+    let insns = Vp_sched.Schedule.instructions s in
+    try Vp_ir.Encoding.block_bytes ~schedule_instructions:insns
+    with Invalid_argument _ ->
+      (* configurations beyond the hardware format (e.g. region-scale sync
+         budgets) fall back to one word per operation plus headers *)
+      Array.fold_left
+        (fun acc ops -> acc + 8 + (8 * List.length ops))
+        0 insns
+  in
+  let main_bytes =
+    Array.map
+      (fun (b : Pipeline.block_eval) ->
+        match b.spec with
+        | Some spec -> schedule_bytes spec.sb.schedule
+        | None ->
+            (* unspeculated code has no extension fields: header + one word
+               per operation, nops included *)
+            8
+            * (b.original_instructions
+              + Vp_ir.Block.size (Vp_ir.Program.nth p.program b.index).block)
+      )
+      p.blocks
+  in
+  let comp_bytes scheme_has_comp =
+    Array.map
+      (fun (b : Pipeline.block_eval) ->
+        match b.spec with
+        | Some spec when scheme_has_comp ->
+            Array.map
+              (fun (cb : Vp_baseline.Static_recovery.comp_block) ->
+                schedule_bytes cb.schedule)
+              (Vp_baseline.Static_recovery.comp_blocks spec.recovery)
+        | Some _ | None -> [||])
+      p.blocks
+  in
+  let layout_recovery =
+    Vp_baseline.Layout.build_sized ~main_bytes
+      ~comp_bytes:(comp_bytes true) ()
+  in
+  let layout_dual =
+    Vp_baseline.Layout.build_sized ~main_bytes ~comp_bytes:(comp_bytes false)
+      ()
+  in
+  let trace = build_trace p in
+  let run_cache layout touch_comp =
+    Vp_baseline.Cache_cost.simulate ~icache:(Config.icache config) ~layout
+      ~miss_penalty:config.miss_penalty ~touch_comp ~trace
+  in
+  let recovery_cost = run_cache layout_recovery true in
+  let dual_cost = run_cache layout_dual false in
+  let extra_per_exec =
+    Float.max 0.0
+      (recovery_cost.Vp_baseline.Cache_cost.cycles_per_execution
+      -. dual_cost.Vp_baseline.Cache_cost.cycles_per_execution)
+  in
+  (extra_per_exec, Vp_baseline.Layout.code_growth layout_recovery)
+
+let summarize (p : Pipeline.t) =
+  let stats = Pipeline.stats p in
+  let total_executions =
+    Array.fold_left (fun acc (b : Pipeline.block_eval) -> acc + b.count) 0
+      p.blocks
+  in
+  let sum f =
+    Array.fold_left
+      (fun acc (b : Pipeline.block_eval) ->
+        acc +. (float_of_int b.count *. f b))
+      0.0 p.blocks
+  in
+  let ours_total = Vp_metrics.Summary.total_time stats in
+  let ours_stalls = sum Pipeline.expected_stall_cycles in
+  let recovery_comp = sum Pipeline.expected_recovery_compensation in
+  let cache_extra_per_exec, code_growth = cache_comparison p in
+  let cache_extra = cache_extra_per_exec *. float_of_int total_executions in
+  let recovery_total = sum Pipeline.expected_recovery_cycles +. cache_extra in
+  let spec_orig, spec_ours, spec_recovery =
+    Array.fold_left
+      (fun (o, u, r) (b : Pipeline.block_eval) ->
+        match b.spec with
+        | Some spec ->
+            let n = float_of_int b.count in
+            ( o +. (n *. float_of_int b.original_cycles),
+              u
+              +. n
+                 *. List.fold_left
+                      (fun acc (s : Pipeline.scenario_eval) ->
+                        acc
+                        +. s.probability
+                           *. float_of_int
+                                (Pipeline.effective p.config s.result))
+                      0.0 spec.scenarios,
+              r +. (n *. Pipeline.expected_recovery_cycles b) )
+        | None -> (o, u, r))
+      (0.0, 0.0, 0.0) p.blocks
+  in
+  let comparison =
+    {
+      ours_comp_share = Vp_util.Stats.ratio ours_stalls ours_total;
+      recovery_comp_share =
+        Vp_util.Stats.ratio (recovery_comp +. cache_extra) recovery_total;
+      ours_spec_ratio = Vp_util.Stats.ratio spec_ours spec_orig;
+      recovery_spec_ratio = Vp_util.Stats.ratio spec_recovery spec_orig;
+      cache_extra_share = Vp_util.Stats.ratio cache_extra recovery_total;
+      code_growth;
+    }
+  in
+  {
+    pipeline = p;
+    stats;
+    fractions = Vp_metrics.Summary.table2 stats;
+    ratios = Vp_metrics.Summary.table3 stats;
+    fig8 = Vp_metrics.Summary.figure8 stats;
+    comparison;
+    mean_rate = Vp_profile.Value_profile.mean_rate p.profile;
+    speculated_blocks =
+      Array.fold_left
+        (fun acc (b : Pipeline.block_eval) ->
+          if b.spec <> None then acc + 1 else acc)
+        0 p.blocks;
+    total_blocks = Array.length p.blocks;
+  }
+
+let run_benchmark ?config model = summarize (Pipeline.run ?config model)
+
+let run_all ?config models = List.map (run_benchmark ?config) models
+
+let cell = Vp_util.Table.cell_f
+
+let emit ?(format = `Ascii) table =
+  match format with
+  | `Ascii -> Vp_util.Table.render table
+  | `Csv -> Vp_util.Table.render_csv table
+
+let render_table2 ?format summaries =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Table 2: fraction of execution time used by speculated blocks \
+         (best case: all predictions correct; worst case: all incorrect)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Best case", Vp_util.Table.Right);
+        ("Worst case", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Vp_util.Table.add_row table
+        [ name s; cell s.fractions.best; Printf.sprintf "%.4f" s.fractions.worst ])
+    summaries;
+  let mean f = Vp_util.Stats.mean (List.map f summaries) in
+  Vp_util.Table.add_separator table;
+  Vp_util.Table.add_row table
+    [
+      "mean";
+      cell (mean (fun s -> s.fractions.best));
+      Printf.sprintf "%.4f" (mean (fun s -> s.fractions.worst));
+    ];
+  emit ?format table
+
+let render_table3 ?format summaries =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Table 3: effective schedule length of speculated blocks as a \
+         fraction of the original schedule"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Best case", Vp_util.Table.Right);
+        ("Worst case", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Vp_util.Table.add_row table
+        [ name s; cell s.ratios.best; cell s.ratios.worst ])
+    summaries;
+  let mean f = Vp_util.Stats.mean (List.map f summaries) in
+  Vp_util.Table.add_separator table;
+  Vp_util.Table.add_row table
+    [
+      "mean";
+      cell (mean (fun s -> s.ratios.best));
+      cell (mean (fun s -> s.ratios.worst));
+    ];
+  emit ?format table
+
+type table4_row = {
+  bench : string;
+  narrow_fraction : float;
+  narrow_ratio : float;
+  wide_fraction : float;
+  wide_ratio : float;
+}
+
+let table4 ?(config = Config.default) ?(narrow = 4) ?(wide = 8) models =
+  List.map
+    (fun model ->
+      let at width =
+        run_benchmark ~config:(Config.with_width width config) model
+      in
+      let n = at narrow and w = at wide in
+      {
+        bench = model.Vp_workload.Spec_model.name;
+        narrow_fraction = n.fractions.best;
+        narrow_ratio = n.ratios.best;
+        wide_fraction = w.fractions.best;
+        wide_ratio = w.ratios.best;
+      })
+    models
+
+let render_table4 ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Table 4: best-case entries of Tables 2 and 3 for two issue widths"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Time frac (4w)", Vp_util.Table.Right);
+        ("Sched frac (4w)", Vp_util.Table.Right);
+        ("Time frac (8w)", Vp_util.Table.Right);
+        ("Sched frac (8w)", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.bench;
+          cell r.narrow_fraction;
+          cell r.narrow_ratio;
+          cell r.wide_fraction;
+          cell r.wide_ratio;
+        ])
+    rows;
+  let mean f = Vp_util.Stats.mean (List.map f rows) in
+  Vp_util.Table.add_separator table;
+  Vp_util.Table.add_row table
+    [
+      "mean";
+      cell (mean (fun r -> r.narrow_fraction));
+      cell (mean (fun r -> r.narrow_ratio));
+      cell (mean (fun r -> r.wide_fraction));
+      cell (mean (fun r -> r.wide_ratio));
+    ];
+  emit ?format table
+
+let render_figure8 summaries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 8: distribution of change in schedule lengths due to prediction\n\
+     (per executed block, all-correct case; positive = cycles saved)\n\n";
+  let pooled =
+    Vp_metrics.Summary.figure8
+      (Array.concat (List.map (fun s -> s.stats) summaries))
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (name s);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Format.asprintf "%a" Vp_util.Histogram.pp s.fig8);
+      Buffer.add_char buf '\n')
+    summaries;
+  Buffer.add_string buf "all benchmarks pooled\n";
+  Buffer.add_string buf (Format.asprintf "%a" Vp_util.Histogram.pp pooled);
+  Buffer.contents buf
+
+let render_comparison ?format summaries =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Comparison with the static-recovery scheme of [4] (expected over \
+         misprediction scenarios)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Comp share (ours)", Vp_util.Table.Right);
+        ("Comp share ([4])", Vp_util.Table.Right);
+        ("Sched ratio (ours)", Vp_util.Table.Right);
+        ("Sched ratio ([4])", Vp_util.Table.Right);
+        ("Cache share ([4])", Vp_util.Table.Right);
+        ("Code growth ([4])", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      let c = s.comparison in
+      Vp_util.Table.add_row table
+        [
+          name s;
+          Vp_util.Table.cell_pct c.ours_comp_share;
+          Vp_util.Table.cell_pct c.recovery_comp_share;
+          cell c.ours_spec_ratio;
+          cell c.recovery_spec_ratio;
+          Vp_util.Table.cell_pct c.cache_extra_share;
+          Vp_util.Table.cell_pct c.code_growth;
+        ])
+    summaries;
+  emit ?format table
+
+(* --- Extensions --- *)
+
+type region_row = {
+  region_bench : string;
+  base_ratio : float;
+  region_ratio : float;
+  base_speedup : float;
+  region_speedup : float;
+  formed_traces : int;
+  mean_trace_blocks : float;
+}
+
+let regions ?(config = Config.default)
+    ?(params = Vp_region.Superblock.default_params) models =
+  (* A region holds several blocks' worth of loads, so the per-block
+     speculation budget scales with the region size (the base experiments
+     keep the paper's per-basic-block budget). *)
+  let region_config =
+    {
+      config with
+      Config.cce_retire_width =
+        config.Config.cce_retire_width
+        * params.Vp_region.Superblock.max_blocks;
+      policy =
+        {
+          config.Config.policy with
+          Vp_vspec.Policy.max_predictions =
+            config.Config.policy.Vp_vspec.Policy.max_predictions
+            * params.Vp_region.Superblock.max_blocks;
+          max_sync_bits =
+            config.Config.policy.Vp_vspec.Policy.max_sync_bits
+            * params.Vp_region.Superblock.max_blocks;
+        };
+    }
+  in
+  List.map
+    (fun model ->
+      let workload =
+        Vp_workload.Workload.generate ~seed:config.Config.seed model
+      in
+      let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
+      let sb_program, traces =
+        Vp_region.Superblock.form ~seed:config.seed workload cfg params
+      in
+      let base =
+        Pipeline.run_program ~config workload
+          (Vp_workload.Workload.program workload)
+      in
+      let region = Pipeline.run_program ~config:region_config workload sb_program in
+      let stats p = Pipeline.stats p in
+      let multi =
+        List.filter
+          (fun (t : Vp_region.Superblock.trace) -> List.length t.blocks >= 2)
+          traces
+      in
+      {
+        region_bench = model.Vp_workload.Spec_model.name;
+        base_ratio = (Vp_metrics.Summary.table3 (stats base)).best;
+        region_ratio = (Vp_metrics.Summary.table3 (stats region)).best;
+        base_speedup = Vp_metrics.Summary.expected_speedup (stats base);
+        region_speedup = Vp_metrics.Summary.expected_speedup (stats region);
+        formed_traces = List.length multi;
+        mean_trace_blocks =
+          Vp_util.Stats.mean
+            (List.map
+               (fun (t : Vp_region.Superblock.trace) ->
+                 float_of_int (List.length t.blocks))
+               multi);
+      })
+    models
+
+let render_regions ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Region extension: basic blocks vs superblocks (paper's future \
+         work: larger regions should improve further)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Sched ratio (bb)", Vp_util.Table.Right);
+        ("Sched ratio (sb)", Vp_util.Table.Right);
+        ("Speedup (bb)", Vp_util.Table.Right);
+        ("Speedup (sb)", Vp_util.Table.Right);
+        ("Traces", Vp_util.Table.Right);
+        ("Mean blocks", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.region_bench;
+          cell r.base_ratio;
+          cell r.region_ratio;
+          Printf.sprintf "%.3fx" r.base_speedup;
+          Printf.sprintf "%.3fx" r.region_speedup;
+          string_of_int r.formed_traces;
+          Printf.sprintf "%.1f" r.mean_trace_blocks;
+        ])
+    rows;
+  emit ?format table
+
+(* --- Overlap validation (the sequence engine) --- *)
+
+type overlap_row = {
+  overlap_bench : string;
+  sequence_total : int;  (** measured on the shared-clock sequence engine *)
+  sum_vliw : int;  (** per-block VLIW-retire accounting summed *)
+  sum_drain : int;  (** per-block full-drain accounting summed *)
+  sequence_stalls : int;
+  sequence_ok : bool;  (** per-instance architectural equivalence held *)
+}
+
+let overlap_validation ?(config = Config.default) ?(executions = 400) models =
+  List.map
+    (fun model ->
+      let p = Pipeline.run ~config model in
+      let rng = Vp_util.Rng.create config.Config.seed in
+      let rng = Vp_util.Rng.split_named rng "overlap" in
+      let weights =
+        Array.map
+          (fun (b : Pipeline.block_eval) -> float_of_int b.count)
+          p.blocks
+      in
+      let descr = Config.machine config in
+      let items_with_bounds =
+        List.init executions (fun _ ->
+            let bi = Vp_util.Rng.weighted_index rng weights in
+            let b = p.blocks.(bi) in
+            let reference = Pipeline.reference_of_block p bi in
+            match b.spec with
+            | None ->
+                let wb = Vp_ir.Program.nth p.program bi in
+                let s = Vp_sched.List_scheduler.schedule_block descr wb.block in
+                ( Vp_engine.Sequence_engine.Plain (s, reference),
+                  b.original_cycles,
+                  b.original_cycles )
+            | Some spec ->
+                let outcomes =
+                  Vp_engine.Scenario.sample rng ~rates:spec.rates
+                in
+                let solo =
+                  Vp_engine.Dual_engine.run
+                    ~cce_retire_width:config.cce_retire_width spec.sb
+                    ~reference ~live_in:Pipeline.live_in ~outcomes
+                in
+                ( Vp_engine.Sequence_engine.Speculated
+                    { sb = spec.sb; reference; outcomes },
+                  solo.vliw_cycles,
+                  solo.cycles ))
+      in
+      let r =
+        Vp_engine.Sequence_engine.run
+          ~cce_retire_width:config.cce_retire_width ~live_in:Pipeline.live_in
+          (List.map (fun (i, _, _) -> i) items_with_bounds)
+      in
+      {
+        overlap_bench = model.Vp_workload.Spec_model.name;
+        sequence_total = r.total_cycles;
+        sum_vliw =
+          List.fold_left (fun a (_, v, _) -> a + v) 0 items_with_bounds;
+        sum_drain =
+          List.fold_left (fun a (_, _, d) -> a + d) 0 items_with_bounds;
+        sequence_stalls = r.stall_cycles;
+        sequence_ok = r.state_ok;
+      })
+    models
+
+let render_overlap ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Overlap validation: a shared-clock block sequence vs the two per-block accountings (compensation overlaps following blocks, so the truth should track the VLIW-retire sum)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Sequence total", Vp_util.Table.Right);
+        ("Sum VLIW-retire", Vp_util.Table.Right);
+        ("Sum full-drain", Vp_util.Table.Right);
+        ("Stalls", Vp_util.Table.Right);
+        ("State", Vp_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.overlap_bench;
+          string_of_int r.sequence_total;
+          string_of_int r.sum_vliw;
+          string_of_int r.sum_drain;
+          string_of_int r.sequence_stalls;
+          (if r.sequence_ok then "ok" else "MISMATCH");
+        ])
+    rows;
+  emit ?format table
+
+(* --- Hyperblocks --- *)
+
+type hyperblock_row = {
+  hyper_bench : string;
+  hyper_base_ratio : float;
+  hyper_ratio : float;
+  hyper_base_speedup : float;
+  hyper_speedup : float;
+  hyper_formed : int;
+}
+
+let hyperblocks ?(config = Config.default)
+    ?(params = Vp_region.Hyperblock.default_params) models =
+  List.map
+    (fun model ->
+      let workload =
+        Vp_workload.Workload.generate ~seed:config.Config.seed model
+      in
+      let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
+      let hb_program, formed =
+        Vp_region.Hyperblock.form workload cfg params
+      in
+      let base =
+        Pipeline.run_program ~config workload
+          (Vp_workload.Workload.program workload)
+      in
+      let hyper = Pipeline.run_program ~config workload hb_program in
+      {
+        hyper_bench = model.Vp_workload.Spec_model.name;
+        hyper_base_ratio =
+          (Vp_metrics.Summary.table3 (Pipeline.stats base)).best;
+        hyper_ratio = (Vp_metrics.Summary.table3 (Pipeline.stats hyper)).best;
+        hyper_base_speedup =
+          Vp_metrics.Summary.expected_speedup (Pipeline.stats base);
+        hyper_speedup =
+          Vp_metrics.Summary.expected_speedup (Pipeline.stats hyper);
+        hyper_formed = formed;
+      })
+    models
+
+let render_hyperblocks ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Hyperblock extension: if-converted (predicated) regions vs basic \
+         blocks; restorable guarded operations participate in speculation \
+         (old values preserved in the OVB)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Sched ratio (bb)", Vp_util.Table.Right);
+        ("Sched ratio (hb)", Vp_util.Table.Right);
+        ("Speedup (bb)", Vp_util.Table.Right);
+        ("Speedup (hb)", Vp_util.Table.Right);
+        ("Hyperblocks", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.hyper_bench;
+          cell r.hyper_base_ratio;
+          cell r.hyper_ratio;
+          Printf.sprintf "%.3fx" r.hyper_base_speedup;
+          Printf.sprintf "%.3fx" r.hyper_speedup;
+          string_of_int r.hyper_formed;
+        ])
+    rows;
+  emit ?format table
+
+(* --- Seed stability --- *)
+
+type stability_row = {
+  stability_bench : string;
+  t2_mean : float;
+  t2_sd : float;
+  t3_mean : float;
+  t3_sd : float;
+}
+
+let stability ?(config = Config.default) ?(seeds = [ 42; 7; 1234 ]) models =
+  List.map
+    (fun model ->
+      let per_seed =
+        List.map
+          (fun seed ->
+            let s = run_benchmark ~config:{ config with seed } model in
+            (s.fractions.best, s.ratios.best))
+          seeds
+      in
+      let t2s = List.map fst per_seed and t3s = List.map snd per_seed in
+      {
+        stability_bench = model.Vp_workload.Spec_model.name;
+        t2_mean = Vp_util.Stats.mean t2s;
+        t2_sd = Vp_util.Stats.stddev t2s;
+        t3_mean = Vp_util.Stats.mean t3s;
+        t3_sd = Vp_util.Stats.stddev t3s;
+      })
+    models
+
+let render_stability ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Seed stability: best-case Table 2/3 entries across workload seeds (mean +/- sd)"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Time frac", Vp_util.Table.Right);
+        ("Sched ratio", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.stability_bench;
+          Printf.sprintf "%.2f +/- %.2f" r.t2_mean r.t2_sd;
+          Printf.sprintf "%.2f +/- %.2f" r.t3_mean r.t3_sd;
+        ])
+    rows;
+  emit ?format table
+
+(* --- Recovery sensitivity --- *)
+
+let recovery_sensitivity ?(config = Config.default)
+    ?(penalties = [ 0; 1; 2; 4; 8 ]) model =
+  List.map
+    (fun branch_penalty ->
+      let s = run_benchmark ~config:{ config with branch_penalty } model in
+      (branch_penalty, s.comparison))
+    penalties
+
+let render_recovery_sensitivity ?format ~bench rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: static-recovery scheme vs branch penalty (penalty 0 = the idealized model the paper says [4] assumed)"
+           bench)
+      [
+        ("Branch penalty", Vp_util.Table.Right);
+        ("Comp share (ours)", Vp_util.Table.Right);
+        ("Comp share ([4])", Vp_util.Table.Right);
+        ("Sched ratio (ours)", Vp_util.Table.Right);
+        ("Sched ratio ([4])", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (penalty, c) ->
+      Vp_util.Table.add_row table
+        [
+          string_of_int penalty;
+          Vp_util.Table.cell_pct c.ours_comp_share;
+          Vp_util.Table.cell_pct c.recovery_comp_share;
+          cell c.ours_spec_ratio;
+          cell c.recovery_spec_ratio;
+        ])
+    rows;
+  emit ?format table
+
+type ablation_point = {
+  setting : string;
+  t2_best : float;
+  t3_best : float;
+  t3_worst : float;
+  speedup : float;
+  speculated : int;
+}
+
+let ablate ?(config = Config.default) model settings =
+  List.map
+    (fun (setting, tweak) ->
+      let s = run_benchmark ~config:(tweak config) model in
+      {
+        setting;
+        t2_best = s.fractions.best;
+        t3_best = s.ratios.best;
+        t3_worst = s.ratios.worst;
+        speedup = Vp_metrics.Summary.expected_speedup s.stats;
+        speculated = s.speculated_blocks;
+      })
+    settings
+
+let with_policy f (c : Config.t) = { c with policy = f c.policy }
+
+let threshold_sweep =
+  List.map
+    (fun t ->
+      ( Printf.sprintf "threshold %.2f" t,
+        with_policy (fun p -> { p with Vp_vspec.Policy.threshold = t }) ))
+    [ 0.50; 0.65; 0.80; 0.95 ]
+
+let prediction_budget_sweep =
+  List.map
+    (fun n ->
+      ( Printf.sprintf "%d prediction(s)" n,
+        with_policy (fun p -> { p with Vp_vspec.Policy.max_predictions = n })
+      ))
+    [ 1; 2; 4; 8 ]
+
+(* A bounded CCB is a hardware/compiler co-design: the compiler must keep a
+   block's speculation set within the buffer, or the machine can deadlock
+   (speculative operations cannot enter a full CCB whose head waits for a
+   check that has not issued yet). The sweep therefore pairs each capacity
+   with a matching Synchronization-register budget, which caps the
+   speculation set. *)
+let ccb_capacity_sweep =
+  List.map
+    (fun cap ->
+      match cap with
+      | Some n ->
+          ( Printf.sprintf "CCB %d entries" n,
+            fun (c : Config.t) ->
+              (* budget = capacity + 1 guarantees a block's speculation set
+                 fits the buffer whatever its prediction count: the set is
+                 at most max_sync_bits - predictions <= capacity *)
+              {
+                c with
+                ccb_capacity = Some n;
+                policy =
+                  { c.policy with Vp_vspec.Policy.max_sync_bits = n + 1 };
+              } )
+      | None ->
+          ("CCB unbounded", fun (c : Config.t) -> { c with ccb_capacity = None }))
+    [ Some 2; Some 4; Some 8; Some 16; None ]
+
+let sync_width_sweep =
+  List.map
+    (fun bits ->
+      ( Printf.sprintf "%d sync bits" bits,
+        with_policy (fun p -> { p with Vp_vspec.Policy.max_sync_bits = bits })
+      ))
+    [ 4; 8; 16; 32 ]
+
+let predictor_sweep =
+  List.map
+    (fun (label, kinds) ->
+      ( label,
+        fun (c : Config.t) -> { c with profile_predictors = Some kinds } ))
+    [
+      ("last-value only", [ Vp_predict.Predictor.Last_value ]);
+      ("stride only", [ Vp_predict.Predictor.Stride ]);
+      ("fcm only", [ Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 } ]);
+      ( "stride+fcm (paper)",
+        [
+          Vp_predict.Predictor.Stride;
+          Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+        ] );
+      ( "stride+fcm+dfcm",
+        [
+          Vp_predict.Predictor.Stride;
+          Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+          Vp_predict.Predictor.Dfcm { order = 2; table_bits = 12 };
+        ] );
+    ]
+
+let cce_width_sweep =
+  List.map
+    (fun w ->
+      ( Printf.sprintf "CCE retire width %d" w,
+        fun (c : Config.t) -> { c with cce_retire_width = w } ))
+    [ 1; 2; 4; 8 ]
+
+let accounting_sweep =
+  [
+    ( "VLIW-retire (overlap)",
+      fun (c : Config.t) -> { c with charge_cce_drain = false } );
+    ( "full CCE drain",
+      fun (c : Config.t) -> { c with charge_cce_drain = true } );
+  ]
+
+let render_ablation ?format ~title points =
+  let table =
+    Vp_util.Table.create ~title
+      [
+        ("Setting", Vp_util.Table.Left);
+        ("Time frac (best)", Vp_util.Table.Right);
+        ("Sched ratio (best)", Vp_util.Table.Right);
+        ("Sched ratio (worst)", Vp_util.Table.Right);
+        ("Speedup", Vp_util.Table.Right);
+        ("Blocks speculated", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Vp_util.Table.add_row table
+        [
+          p.setting;
+          cell p.t2_best;
+          cell p.t3_best;
+          cell p.t3_worst;
+          Printf.sprintf "%.3fx" p.speedup;
+          string_of_int p.speculated;
+        ])
+    points;
+  emit ?format table

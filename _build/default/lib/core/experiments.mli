@@ -1,0 +1,241 @@
+(** One entry point per paper artifact (see DESIGN.md's experiment index).
+
+    [run_benchmark] executes the full pipeline for one benchmark and
+    reduces it to everything Tables 2–4, Figure 8 and the recovery-scheme
+    comparison need; the [render_*] functions lay the results out in the
+    paper's table formats. *)
+
+(** The Section 3 comparison of the dual-engine scheme against the
+    static-recovery scheme of paper-reference [4]. *)
+type comparison = {
+  ours_comp_share : float;
+      (** fraction of the dual-engine scheme's execution time that is
+          serialized compensation exposure (VLIW stall cycles) — the paper
+          reports this as "negligible" *)
+  recovery_comp_share : float;
+      (** fraction of the static scheme's execution time spent in
+          compensation blocks, branch penalties and the extra instruction
+          cache misses its code growth causes *)
+  ours_spec_ratio : float;
+      (** expected effective/original schedule-length ratio over speculated
+          blocks, dual-engine scheme *)
+  recovery_spec_ratio : float;  (** same ratio under the static scheme *)
+  cache_extra_share : float;
+      (** the instruction-cache-pollution component of
+          [recovery_comp_share] *)
+  code_growth : float;
+      (** static code growth of the recovery scheme (compensation bytes
+          over main-code bytes) *)
+}
+
+type benchmark_summary = {
+  pipeline : Pipeline.t;
+  stats : Vp_metrics.Summary.block_stats array;
+  fractions : Vp_metrics.Summary.time_fractions;  (** Table 2 row *)
+  ratios : Vp_metrics.Summary.length_ratios;  (** Table 3 row *)
+  fig8 : Vp_util.Histogram.t;  (** Figure 8 contribution *)
+  comparison : comparison;
+  mean_rate : float;  (** mean profiled prediction rate *)
+  speculated_blocks : int;
+  total_blocks : int;
+}
+
+val name : benchmark_summary -> string
+
+val summarize : Pipeline.t -> benchmark_summary
+
+val run_benchmark :
+  ?config:Config.t -> Vp_workload.Spec_model.t -> benchmark_summary
+
+val run_all :
+  ?config:Config.t -> Vp_workload.Spec_model.t list -> benchmark_summary list
+
+val render_table2 :
+  ?format:[ `Ascii | `Csv ] -> benchmark_summary list -> string
+(** "Table 2: fraction of execution time used by speculated blocks".
+    All [render_*] functions take [?format] — [`Ascii] (default) for the
+    aligned report layout, [`Csv] for plotting pipelines. *)
+
+val render_table3 :
+  ?format:[ `Ascii | `Csv ] -> benchmark_summary list -> string
+(** "Table 3: effective schedule lengths as a fraction of the original". *)
+
+type table4_row = {
+  bench : string;
+  narrow_fraction : float;  (** Table 2 best-case column, narrow machine *)
+  narrow_ratio : float;  (** Table 3 best-case column, narrow machine *)
+  wide_fraction : float;
+  wide_ratio : float;
+}
+
+val table4 :
+  ?config:Config.t ->
+  ?narrow:int ->
+  ?wide:int ->
+  Vp_workload.Spec_model.t list ->
+  table4_row list
+(** Best-case entries of Tables 2 and 3 at two issue widths (defaults 4
+    and 8), the paper's Table 4. *)
+
+val render_table4 : ?format:[ `Ascii | `Csv ] -> table4_row list -> string
+
+val render_figure8 : benchmark_summary list -> string
+(** Per-benchmark and pooled distribution of schedule-length change. *)
+
+val render_comparison :
+  ?format:[ `Ascii | `Csv ] -> benchmark_summary list -> string
+(** The static-recovery comparison table. *)
+
+(** {1 Extensions beyond the paper's evaluation} *)
+
+(** The superblock (region) experiment — the paper's future-work claim that
+    "for larger regions such as hyperblocks and superblocks, we expect to
+    see a further improvement". Rows compare the same benchmark scheduled
+    and speculated at basic-block granularity versus after superblock
+    formation ([Vp_region.Superblock]). *)
+type region_row = {
+  region_bench : string;
+  base_ratio : float;  (** Table-3 best-case ratio, basic blocks *)
+  region_ratio : float;  (** same after superblock formation *)
+  base_speedup : float;  (** whole-program expected speedup, basic blocks *)
+  region_speedup : float;  (** same after superblock formation *)
+  formed_traces : int;  (** multi-block superblocks formed *)
+  mean_trace_blocks : float;  (** mean trace length over those *)
+}
+
+val regions :
+  ?config:Config.t ->
+  ?params:Vp_region.Superblock.params ->
+  Vp_workload.Spec_model.t list ->
+  region_row list
+
+val render_regions : ?format:[ `Ascii | `Csv ] -> region_row list -> string
+
+(** The overlap-validation experiment: a dynamic sequence of blocks on the
+    shared-clock {!Vp_engine.Sequence_engine}, compared against the two
+    per-block accountings it must fall between. Justifies the default
+    VLIW-retire charge empirically. *)
+type overlap_row = {
+  overlap_bench : string;
+  sequence_total : int;
+  sum_vliw : int;
+  sum_drain : int;
+  sequence_stalls : int;
+  sequence_ok : bool;
+}
+
+val overlap_validation :
+  ?config:Config.t ->
+  ?executions:int ->
+  Vp_workload.Spec_model.t list ->
+  overlap_row list
+(** Default 400 dynamic block executions per benchmark. *)
+
+val render_overlap : ?format:[ `Ascii | `Csv ] -> overlap_row list -> string
+
+(** The hyperblock (if-conversion) extension: biased branches absorbed into
+    predicated regions. Guarded operations cannot be value-speculated (a
+    predicated-off speculative write could not be recovered), so the
+    hyperblock benefit here is scheduling overlap: side-path operations
+    fill slots under the main path's load latencies and checks. *)
+type hyperblock_row = {
+  hyper_bench : string;
+  hyper_base_ratio : float;
+  hyper_ratio : float;
+  hyper_base_speedup : float;
+  hyper_speedup : float;
+  hyper_formed : int;
+}
+
+val hyperblocks :
+  ?config:Config.t ->
+  ?params:Vp_region.Hyperblock.params ->
+  Vp_workload.Spec_model.t list ->
+  hyperblock_row list
+
+val render_hyperblocks :
+  ?format:[ `Ascii | `Csv ] -> hyperblock_row list -> string
+
+(** Seed stability: the headline best-case entries across several workload
+    seeds. The synthetic benchmarks concentrate time in few hot blocks, so
+    a single seed could in principle carry the tables; this experiment
+    shows the spread. *)
+type stability_row = {
+  stability_bench : string;
+  t2_mean : float;
+  t2_sd : float;
+  t3_mean : float;
+  t3_sd : float;
+}
+
+val stability :
+  ?config:Config.t ->
+  ?seeds:int list ->
+  Vp_workload.Spec_model.t list ->
+  stability_row list
+(** Default seeds: 42 (the reported one), 7, 1234. *)
+
+val render_stability : ?format:[ `Ascii | `Csv ] -> stability_row list -> string
+
+val recovery_sensitivity :
+  ?config:Config.t ->
+  ?penalties:int list ->
+  Vp_workload.Spec_model.t ->
+  (int * comparison) list
+(** The static-recovery comparison re-run across branch penalties. Penalty
+    0 approximates the idealized model the paper attributes to [4] ("the
+    effects of branch penalties and cache misses are ignored in [4]") —
+    even there the dual-engine scheme keeps its lead, because recovery is
+    still serialized. Defaults: penalties 0, 1, 2, 4, 8. *)
+
+val render_recovery_sensitivity :
+  ?format:[ `Ascii | `Csv ] ->
+  bench:string ->
+  (int * comparison) list ->
+  string
+
+(** One point of an ablation sweep: the headline metrics at one setting. *)
+type ablation_point = {
+  setting : string;
+  t2_best : float;
+  t3_best : float;
+  t3_worst : float;
+  speedup : float;  (** whole-program expected speedup over no prediction *)
+  speculated : int;  (** blocks speculated *)
+}
+
+val ablate :
+  ?config:Config.t ->
+  Vp_workload.Spec_model.t ->
+  (string * (Config.t -> Config.t)) list ->
+  ablation_point list
+(** Evaluate the benchmark once per labelled configuration tweak. *)
+
+val threshold_sweep : (string * (Config.t -> Config.t)) list
+(** Profile thresholds 0.50–0.95 (the paper fixes 0.65 and notes it was
+    "kept at a fairly low percentage ... to analyze the mispredictions
+    cases as well"). *)
+
+val prediction_budget_sweep : (string * (Config.t -> Config.t)) list
+(** Max predictions per block 1, 2, 4, 8. *)
+
+val ccb_capacity_sweep : (string * (Config.t -> Config.t)) list
+(** Compensation Code Buffer sizes 2, 4, 8, 16 and unbounded. *)
+
+val sync_width_sweep : (string * (Config.t -> Config.t)) list
+(** Synchronization-register widths 4, 8, 16, 32 bits. *)
+
+val predictor_sweep : (string * (Config.t -> Config.t)) list
+(** Profiling-predictor sets: last-value / stride / FCM alone, the paper's
+    stride+FCM pair, and the pair plus DFCM — justifying the paper's
+    Section-3 profiling choice. *)
+
+val cce_width_sweep : (string * (Config.t -> Config.t)) list
+(** CCE retirements per cycle 1, 2, 4, 8 (1 is the paper's engine). *)
+
+val accounting_sweep : (string * (Config.t -> Config.t)) list
+(** VLIW-retire vs full-CCE-drain block accounting (see
+    {!Config.t.charge_cce_drain}). *)
+
+val render_ablation :
+  ?format:[ `Ascii | `Csv ] -> title:string -> ablation_point list -> string

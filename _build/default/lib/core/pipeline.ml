@@ -1,0 +1,227 @@
+type scenario_eval = {
+  outcomes : Vp_engine.Scenario.t;
+  probability : float;
+  result : Vp_engine.Dual_engine.result;
+  recovery_cycles : int;
+  recovery_compensation : int;
+}
+
+type spec_eval = {
+  sb : Vp_vspec.Spec_block.t;
+  rates : float array;
+  scenarios : scenario_eval list;
+  best : Vp_engine.Dual_engine.result;
+  worst : Vp_engine.Dual_engine.result;
+  p_all_correct : float;
+  p_all_incorrect : float;
+  recovery : Vp_baseline.Static_recovery.t;
+}
+
+type block_eval = {
+  index : int;
+  count : int;
+  original_cycles : int;
+  original_instructions : int;
+  skip_reason : string option;
+  spec : spec_eval option;
+}
+
+type t = {
+  config : Config.t;
+  model : Vp_workload.Spec_model.t;
+  workload : Vp_workload.Workload.t;
+  program : Vp_ir.Program.t;
+      (* the program the blocks were evaluated against — the workload's own
+         for [run], a formed region program for [run_program] *)
+  profile : Vp_profile.Value_profile.t;
+  blocks : block_eval array;
+}
+
+let live_in r = (1009 * r) + 77
+
+let block_reference workload (block : Vp_ir.Block.t) =
+  let values = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Vp_ir.Operation.t) ->
+      match op.stream with
+      | Some s ->
+          Hashtbl.replace values op.id
+            (Vp_workload.Value_stream.next (Vp_workload.Workload.stream workload s))
+      | None -> ())
+    (Vp_ir.Block.loads block);
+  Vp_engine.Reference.run block
+    ~load_values:(fun i -> Hashtbl.find values i)
+    ~live_in
+
+let eval_spec config workload (wb : Vp_ir.Program.weighted_block) sb =
+  let descr = Config.machine config in
+  let reference = block_reference workload wb.block in
+  let ccb_capacity = config.Config.ccb_capacity in
+  let simulate outcomes =
+    Vp_engine.Dual_engine.run ?ccb_capacity
+      ~cce_retire_width:config.cce_retire_width sb ~reference ~live_in
+      ~outcomes
+  in
+  let recovery =
+    Vp_baseline.Static_recovery.build ~branch_penalty:config.branch_penalty
+      descr sb
+  in
+  let rates =
+    Array.map (fun p -> p.Vp_vspec.Spec_block.rate) sb.predicted
+  in
+  let n = Array.length rates in
+  let outcome_vectors =
+    if n <= config.max_enumerated_predictions then
+      List.map
+        (fun o -> (o, Vp_engine.Scenario.probability ~rates o))
+        (Vp_engine.Scenario.enumerate n)
+    else begin
+      let rng = Vp_util.Rng.create config.seed in
+      let rng = Vp_util.Rng.split_named rng (Vp_ir.Block.label wb.block) in
+      let w = 1.0 /. float_of_int config.monte_carlo_draws in
+      List.init config.monte_carlo_draws (fun _ ->
+          (Vp_engine.Scenario.sample rng ~rates, w))
+    end
+  in
+  let scenarios =
+    List.map
+      (fun (outcomes, probability) ->
+        {
+          outcomes;
+          probability;
+          result = simulate outcomes;
+          recovery_cycles =
+            Vp_baseline.Static_recovery.cycles recovery ~outcomes;
+          recovery_compensation =
+            Vp_baseline.Static_recovery.compensation_cycles recovery ~outcomes;
+        })
+      outcome_vectors
+  in
+  let p_all_correct =
+    Vp_engine.Scenario.probability ~rates (Vp_engine.Scenario.all_correct n)
+  in
+  let p_all_incorrect =
+    Vp_engine.Scenario.probability ~rates (Vp_engine.Scenario.all_incorrect n)
+  in
+  {
+    sb;
+    rates;
+    scenarios;
+    best = simulate (Vp_engine.Scenario.all_correct n);
+    worst = simulate (Vp_engine.Scenario.all_incorrect n);
+    p_all_correct;
+    p_all_incorrect;
+    recovery;
+  }
+
+let run_program ?(config = Config.default) workload program =
+  let descr = Config.machine config in
+  let profile =
+    Vp_profile.Value_profile.profile ~program
+      ?predictors:config.profile_predictors workload
+  in
+  let blocks =
+    Array.mapi
+      (fun index (wb : Vp_ir.Program.weighted_block) ->
+        let rate (op : Vp_ir.Operation.t) =
+          Vp_profile.Value_profile.rate profile ~block:index ~op:op.id
+        in
+        let original_schedule =
+          Vp_sched.List_scheduler.schedule_block descr wb.block
+        in
+        let original_cycles = Vp_sched.Schedule.length original_schedule in
+        let original_instructions =
+          Vp_sched.Schedule.num_instructions original_schedule
+        in
+        match
+          Vp_vspec.Transform.apply ~policy:config.policy descr ~rate wb.block
+        with
+        | Vp_vspec.Transform.Unchanged reason ->
+            {
+              index;
+              count = wb.count;
+              original_cycles;
+              original_instructions;
+              skip_reason = Some reason;
+              spec = None;
+            }
+        | Vp_vspec.Transform.Speculated sb ->
+            {
+              index;
+              count = wb.count;
+              original_cycles;
+              original_instructions;
+              skip_reason = None;
+              spec = Some (eval_spec config workload wb sb);
+            })
+      (Vp_ir.Program.blocks program)
+  in
+  {
+    config;
+    model = Vp_workload.Workload.model workload;
+    workload;
+    program;
+    profile;
+    blocks;
+  }
+
+let run ?(config = Config.default) model =
+  let workload = Vp_workload.Workload.generate ~seed:config.seed model in
+  run_program ~config workload (Vp_workload.Workload.program workload)
+
+let reference_of_block t index =
+  let wb = Vp_ir.Program.nth t.program index in
+  block_reference t.workload wb.block
+
+let effective config r = Config.effective_cycles config r
+
+let expected f spec =
+  List.fold_left
+    (fun acc s -> acc +. (s.probability *. f s))
+    0.0 spec.scenarios
+
+let expected_cycles config spec =
+  expected (fun s -> float_of_int (effective config s.result)) spec
+
+let expected_stall_cycles_spec spec =
+  expected
+    (fun s -> float_of_int s.result.Vp_engine.Dual_engine.stall_cycles)
+    spec
+
+let stats t =
+  let config = t.config in
+  Array.map
+    (fun b ->
+      {
+        Vp_metrics.Summary.count = b.count;
+        original_cycles = b.original_cycles;
+        speculated =
+          Option.map
+            (fun spec ->
+              {
+                Vp_metrics.Summary.predictions = Array.length spec.rates;
+                p_all_correct = spec.p_all_correct;
+                p_all_incorrect = spec.p_all_incorrect;
+                best_cycles = effective config spec.best;
+                worst_cycles = effective config spec.worst;
+                expected_cycles = expected_cycles config spec;
+                expected_stall_cycles = expected_stall_cycles_spec spec;
+              })
+            b.spec;
+      })
+    t.blocks
+
+let expected_recovery_cycles b =
+  match b.spec with
+  | None -> float_of_int b.original_cycles
+  | Some spec -> expected (fun s -> float_of_int s.recovery_cycles) spec
+
+let expected_recovery_compensation b =
+  match b.spec with
+  | None -> 0.0
+  | Some spec -> expected (fun s -> float_of_int s.recovery_compensation) spec
+
+let expected_stall_cycles b =
+  match b.spec with
+  | None -> 0.0
+  | Some spec -> expected_stall_cycles_spec spec

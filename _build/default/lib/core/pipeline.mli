@@ -1,0 +1,92 @@
+(** The end-to-end experiment pipeline.
+
+    For one benchmark model, [run]:
+
+    + generates the synthetic program ([Vp_workload]);
+    + value-profiles every load with stride and FCM predictors
+      ([Vp_profile]);
+    + applies the value-speculation transform to every block
+      ([Vp_vspec]);
+    + simulates each speculated block on the dual-engine machine under
+      every misprediction scenario (enumerated exactly up to the
+      configuration's cap, Monte-Carlo sampled beyond it), and prices the
+      same block under the static-recovery scheme ([Vp_engine],
+      [Vp_baseline]).
+
+    The result contains everything the experiment layer needs; nothing
+    downstream re-runs a simulator. *)
+
+type scenario_eval = {
+  outcomes : Vp_engine.Scenario.t;
+  probability : float;
+      (** exact for enumerated scenarios; [1/draws] for sampled ones *)
+  result : Vp_engine.Dual_engine.result;
+  recovery_cycles : int;  (** same scenario under the static scheme *)
+  recovery_compensation : int;
+}
+
+type spec_eval = {
+  sb : Vp_vspec.Spec_block.t;
+  rates : float array;  (** per prediction, profiled rate *)
+  scenarios : scenario_eval list;
+  best : Vp_engine.Dual_engine.result;  (** all predictions correct *)
+  worst : Vp_engine.Dual_engine.result;  (** all predictions incorrect *)
+  p_all_correct : float;
+  p_all_incorrect : float;
+  recovery : Vp_baseline.Static_recovery.t;
+}
+
+type block_eval = {
+  index : int;
+  count : int;
+  original_cycles : int;
+  original_instructions : int;
+      (** VLIW instruction count of the original schedule (code size) *)
+  skip_reason : string option;  (** why the block was not speculated *)
+  spec : spec_eval option;
+}
+
+type t = {
+  config : Config.t;
+  model : Vp_workload.Spec_model.t;
+  workload : Vp_workload.Workload.t;
+  program : Vp_ir.Program.t;
+      (** the program the blocks were evaluated against — the workload's
+          own for {!run}, the formed region program for {!run_program} *)
+  profile : Vp_profile.Value_profile.t;
+  blocks : block_eval array;
+}
+
+val run : ?config:Config.t -> Vp_workload.Spec_model.t -> t
+
+val run_program :
+  ?config:Config.t -> Vp_workload.Workload.t -> Vp_ir.Program.t -> t
+(** Run the pipeline on a custom program whose loads reference the
+    workload's value streams — used by the superblock (region) extension.
+    [run] is [run_program] on the workload's own program. *)
+
+val live_in : int -> int
+(** The deterministic live-in register values used for every simulation
+    ([live_in r = 1009 * r + 77]). Exposed so examples and tests can build
+    matching references. *)
+
+val reference_of_block : t -> int -> Vp_engine.Reference.t
+(** Reference execution of block [index] with its first dynamic load
+    values — the one the pipeline simulated against. *)
+
+val stats : t -> Vp_metrics.Summary.block_stats array
+(** Reduce to the metric layer's per-block records. *)
+
+val expected_recovery_cycles : block_eval -> float
+(** Scenario-weighted static-recovery cycles of a block (original cycles if
+    unspeculated). *)
+
+val expected_recovery_compensation : block_eval -> float
+(** Scenario-weighted serialized compensation cycles under the static
+    scheme (0 if unspeculated). *)
+
+val expected_stall_cycles : block_eval -> float
+(** Scenario-weighted VLIW stall cycles under the dual-engine scheme. *)
+
+val effective : Config.t -> Vp_engine.Dual_engine.result -> int
+(** Alias of {!Config.effective_cycles}. *)

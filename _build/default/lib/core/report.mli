@@ -1,0 +1,25 @@
+(** Self-contained markdown reports.
+
+    [generate] runs the full evaluation — every paper table and figure,
+    the worked example, and the extensions — and renders one markdown
+    document, suitable for committing next to EXPERIMENTS.md or attaching
+    to a release. Everything inside is regenerated live, so the report
+    always reflects the code that produced it. *)
+
+val generate :
+  ?config:Config.t ->
+  ?models:Vp_workload.Spec_model.t list ->
+  ?include_extensions:bool ->
+  unit ->
+  string
+(** Defaults: the standard configuration, all eight benchmarks, extensions
+    included. The result is a complete markdown document. *)
+
+val write_file :
+  ?config:Config.t ->
+  ?models:Vp_workload.Spec_model.t list ->
+  ?include_extensions:bool ->
+  path:string ->
+  unit ->
+  unit
+(** [generate] straight to a file. *)

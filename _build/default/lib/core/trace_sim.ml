@@ -1,0 +1,129 @@
+type result = {
+  executions : int;
+  cycles : int;
+  original_cycles : int;
+  speedup : float;
+  predictions : int;
+  mispredictions : int;
+  accuracy : float;
+  profile_speedup : float;
+}
+
+(* A stable hardware PC for a static load: block index spread across the
+   address space, plus the operation's slot. *)
+let pc_of ~block ~op = (block * 256) + op
+
+let run ?(executions = 5000) ?table (p : Pipeline.t) =
+  let config = p.config in
+  let table =
+    match table with
+    | Some t -> t
+    | None -> Vp_predict.Vp_table.create ~entries:1024 ()
+  in
+  let rng = Vp_util.Rng.create config.Config.seed in
+  let rng = Vp_util.Rng.split_named rng "hardware-trace" in
+  let weights =
+    Array.map (fun (b : Pipeline.block_eval) -> float_of_int b.count) p.blocks
+  in
+  (* Persistent per-stream instances: each load replays its stream across
+     its block's executions, exactly as profiling saw it. *)
+  let streams = Hashtbl.create 64 in
+  let stream_next id =
+    let s =
+      match Hashtbl.find_opt streams id with
+      | Some s -> s
+      | None ->
+          let s = Vp_workload.Workload.stream p.workload id in
+          Hashtbl.replace streams id s;
+          s
+    in
+    Vp_workload.Value_stream.next s
+  in
+  let cycles = ref 0 in
+  let original_cycles = ref 0 in
+  let predictions = ref 0 in
+  let mispredictions = ref 0 in
+  for _ = 1 to executions do
+    let bi = Vp_util.Rng.weighted_index rng weights in
+    let b = p.blocks.(bi) in
+    original_cycles := !original_cycles + b.original_cycles;
+    match b.spec with
+    | None -> cycles := !cycles + b.original_cycles
+    | Some spec ->
+        let block = spec.sb.Vp_vspec.Spec_block.original_block in
+        let values = Hashtbl.create 8 in
+        List.iter
+          (fun (op : Vp_ir.Operation.t) ->
+            Hashtbl.replace values op.id (stream_next (Option.get op.stream)))
+          (Vp_ir.Block.loads block);
+        let reference =
+          Vp_engine.Reference.run block
+            ~load_values:(Hashtbl.find values)
+            ~live_in:Pipeline.live_in
+        in
+        let outcomes =
+          Array.map
+            (fun (pl : Vp_vspec.Spec_block.predicted_load) ->
+              let actual = Hashtbl.find values pl.orig_load_id in
+              let correct =
+                Vp_predict.Vp_table.predict_and_train table
+                  ~pc:(pc_of ~block:bi ~op:pl.orig_load_id)
+                  ~actual
+              in
+              incr predictions;
+              if not correct then incr mispredictions;
+              correct)
+            spec.sb.predicted
+        in
+        let r =
+          Vp_engine.Dual_engine.run
+            ?ccb_capacity:config.ccb_capacity
+            ~cce_retire_width:config.cce_retire_width spec.sb ~reference
+            ~live_in:Pipeline.live_in ~outcomes
+        in
+        cycles := !cycles + Config.effective_cycles config r
+  done;
+  let stats = Pipeline.stats p in
+  {
+    executions;
+    cycles = !cycles;
+    original_cycles = !original_cycles;
+    speedup =
+      (if !cycles = 0 then 1.0
+       else float_of_int !original_cycles /. float_of_int !cycles);
+    predictions = !predictions;
+    mispredictions = !mispredictions;
+    accuracy =
+      (if !predictions = 0 then 0.0
+       else
+         float_of_int (!predictions - !mispredictions)
+         /. float_of_int !predictions);
+    profile_speedup = Vp_metrics.Summary.expected_speedup stats;
+  }
+
+let render rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Hardware-mode validation: run-time value-prediction table vs the \
+         profile-driven expectation"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Speedup (hw)", Vp_util.Table.Right);
+        ("Speedup (profile)", Vp_util.Table.Right);
+        ("Accuracy (hw)", Vp_util.Table.Right);
+        ("Predictions", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Vp_util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.3fx" r.speedup;
+          Printf.sprintf "%.3fx" r.profile_speedup;
+          Printf.sprintf "%.3f" r.accuracy;
+          string_of_int r.predictions;
+        ])
+    rows;
+  Vp_util.Table.render table

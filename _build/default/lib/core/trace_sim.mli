@@ -1,0 +1,40 @@
+(** Hardware-mode whole-program simulation.
+
+    The paper's evaluation (and this repository's tables) is
+    {e profile-driven}: per-block misprediction scenarios are weighted by
+    profiled rates. The actual machine of Figure 5 has a run-time value
+    predictor — "caching values and prediction confidences at run-time" —
+    whose accuracy on a given load need not match its profile. This module
+    closes that loop: it executes a dynamic block trace end to end with one
+    persistent hardware value-prediction table ([Vp_predict.Vp_table])
+    supplying every [LdPred], simulating each block execution on the
+    dual-engine model with the outcomes the table actually produced.
+
+    Comparing the resulting speedup against the profile-predicted speedup
+    validates the profiling methodology (they should agree closely, since
+    the profile and the table see the same value streams) and exposes the
+    hardware effects the profile cannot see: cold-start misses, table
+    aliasing, and confidence warm-up. *)
+
+type result = {
+  executions : int;  (** dynamic block executions simulated *)
+  cycles : int;  (** total cycles with value prediction *)
+  original_cycles : int;  (** total cycles without value prediction *)
+  speedup : float;
+  predictions : int;  (** dynamic [LdPred] executions *)
+  mispredictions : int;
+  accuracy : float;  (** run-time prediction accuracy of the table *)
+  profile_speedup : float;
+      (** the profile-driven expectation over the same blocks, for
+          comparison *)
+}
+
+val run :
+  ?executions:int -> ?table:Vp_predict.Vp_table.t -> Pipeline.t -> result
+(** [run pipeline] replays [executions] (default 5000) block executions
+    drawn proportionally to the profiled frequencies, deterministic in the
+    pipeline's seed. [table] defaults to a fresh 1024-entry hybrid
+    stride/FCM table without confidence gating. *)
+
+val render : (string * result) list -> string
+(** Table of per-benchmark results: measured vs profile-predicted. *)

@@ -1,0 +1,1 @@
+lib/engine/alu.ml: Printf Vp_ir

@@ -1,0 +1,1 @@
+lib/engine/alu.mli: Vp_ir

@@ -1,0 +1,1 @@
+lib/engine/dual_engine.ml: Alu Array Engine_trace Format Hashtbl List Option Printf Queue Reference Scenario Vp_ir Vp_sched Vp_util Vp_vspec

@@ -1,0 +1,1 @@
+lib/engine/dual_engine.mli: Engine_trace Reference Scenario Vp_sched Vp_vspec

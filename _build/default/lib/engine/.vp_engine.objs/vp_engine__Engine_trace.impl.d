@@ -1,0 +1,1 @@
+lib/engine/engine_trace.ml: Format List String

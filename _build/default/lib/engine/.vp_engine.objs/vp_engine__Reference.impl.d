@@ -1,0 +1,1 @@
+lib/engine/reference.ml: Alu Array Hashtbl List Option Vp_ir

@@ -1,0 +1,1 @@
+lib/engine/reference.mli: Vp_ir

@@ -1,0 +1,1 @@
+lib/engine/scenario.ml: Array Format Fun List String Vp_util

@@ -1,0 +1,1 @@
+lib/engine/scenario.mli: Format Vp_util

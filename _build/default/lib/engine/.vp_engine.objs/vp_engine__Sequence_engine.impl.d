@@ -1,0 +1,1 @@
+lib/engine/sequence_engine.ml: Alu Array Hashtbl List Option Printf Queue Reference Scenario Vp_ir Vp_sched Vp_util Vp_vspec

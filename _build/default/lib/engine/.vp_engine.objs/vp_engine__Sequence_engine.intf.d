@@ -1,0 +1,1 @@
+lib/engine/sequence_engine.mli: Reference Scenario Vp_sched Vp_vspec

@@ -1,0 +1,35 @@
+let bad opcode =
+  invalid_arg
+    (Printf.sprintf "Alu.eval: %s has no arithmetic result"
+       (Vp_ir.Opcode.mnemonic opcode))
+
+let arity_error opcode =
+  invalid_arg
+    (Printf.sprintf "Alu.eval: arity mismatch for %s"
+       (Vp_ir.Opcode.mnemonic opcode))
+
+let eval (opcode : Vp_ir.Opcode.t) operands =
+  match (opcode, operands) with
+  | Add, [ a; b ] | Fadd, [ a; b ] -> a + b
+  | Sub, [ a; b ] -> a - b
+  | Mul, [ a; b ] | Fmul, [ a; b ] -> a * b
+  | Div, [ a; b ] | Fdiv, [ a; b ] -> if b = 0 then 0 else a / b
+  | And, [ a; b ] -> a land b
+  | Or, [ a; b ] -> a lor b
+  | Xor, [ a; b ] -> a lxor b
+  | Shift, [ a; b ] -> a lsl (b land 15)
+  | Move, [ a ] -> a
+  | Cmp, [ a; b ] -> if a < b then 1 else 0
+  | (Load | Store | Branch | Ld_pred), _ -> bad opcode
+  | (Add | Sub | Mul | Div | And | Or | Xor | Shift | Move | Cmp
+    | Fadd | Fmul | Fdiv), _ ->
+      arity_error opcode
+
+let load_result ~addr ~correct_addr ~correct_value =
+  if addr = correct_addr then correct_value
+  else
+    (* Deterministic junk distinct per (address, location). *)
+    let h = (addr * 0x9E3779B1) lxor (correct_value * 0x85EBCA77) in
+    (h lxor (h lsr 16)) land 0x3FFFFFFF
+
+let wrong_value v = v lxor 1

@@ -1,0 +1,27 @@
+(** Functional semantics of operations.
+
+    The engines simulate values, not just timing, so that correctness (the
+    dual-engine machine computes exactly what the sequential machine does,
+    under every misprediction pattern) is a testable property. All values
+    are OCaml [int]s; floating-point opcodes are modelled with integer
+    arithmetic — the experiments only care about dependences and latencies,
+    never about FP semantics. *)
+
+val eval : Vp_ir.Opcode.t -> int list -> int
+(** [eval opcode operands] computes a register-writing opcode's result.
+    Division by zero yields 0 (the simulator must be total). Raises
+    [Invalid_argument] for [Load], [Ld_pred], [Store] and [Branch] — their
+    results do not come from an arithmetic function (loads read memory /
+    streams, [Ld_pred] reads the value predictor, the others write no
+    register) — and on operand-arity mismatches. *)
+
+val load_result : addr:int -> correct_addr:int -> correct_value:int -> int
+(** The value a load returns when executed with address [addr]: the stream's
+    correct value when the address is right, and a deterministic
+    "wrong-memory" value otherwise. Speculated loads executed with a
+    mispredicted address use this to produce a value that is wrong but
+    reproducible. *)
+
+val wrong_value : int -> int
+(** A value guaranteed different from the argument — what the value
+    predictor returns in a scenario that forces a misprediction. *)

@@ -1,0 +1,469 @@
+type result = {
+  cycles : int;
+  vliw_cycles : int;
+  stall_cycles : int;
+  flushed : int;
+  recomputed : int;
+  ccb_high_water : int;
+  mispredicted : int;
+  final_regs : (int * int) list;
+  stores : (int * int) list;
+}
+
+exception Deadlock of string
+
+type event =
+  | Vliw_write of { reg : int; value : int }
+  | Check_complete of { k : int }
+  | Ovb_pred_known of { k : int }
+  | Spec_correct_known of { s : int }
+  | Cce_complete of { s : int; value : int }
+  | Store_commit of { addr : int; value : int }
+
+type ccb_entry = { s : int; entry_time : int }
+
+let run ?(ccb_capacity = max_int) ?(cce_retire_width = 1) ?observer
+    (sb : Vp_vspec.Spec_block.t) ~reference ~live_in ~outcomes =
+  if cce_retire_width < 1 then
+    invalid_arg "Dual_engine.run: cce_retire_width < 1";
+  let open Vp_vspec.Spec_block in
+  let num_preds = Array.length sb.predicted in
+  if Array.length outcomes <> num_preds then
+    invalid_arg "Dual_engine.run: outcomes length mismatch";
+  if reference.Reference.block != sb.original_block then
+    (* Structural check is enough; physical equality is the common case. *)
+    if
+      Vp_ir.Block.size reference.Reference.block
+      <> Vp_ir.Block.size sb.original_block
+    then invalid_arg "Dual_engine.run: reference block mismatch";
+  let block = sb.block in
+  let new_n = Vp_ir.Block.size block in
+  let k_count = num_preds in
+  let orig_of i = i - k_count in
+  let latency i = Vp_ir.Depgraph.latency sb.graph i in
+  let correct_result i = reference.Reference.results.(orig_of i) in
+  let insns = Vp_sched.Schedule.instructions sb.schedule in
+  let num_insns = Array.length insns in
+
+  (* --- Mutable machine state --- *)
+  let sync = Vp_util.Bitset.create () in
+  let regs = Hashtbl.create 64 in
+  let read_reg r =
+    match Hashtbl.find_opt regs r with Some v -> v | None -> live_in r
+  in
+  let write_reg r v = Hashtbl.replace regs r v in
+  let events : (int, event Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let schedule_event t e =
+    let q =
+      match Hashtbl.find_opt events t with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace events t q;
+          q
+    in
+    Queue.push e q
+  in
+  let pending_events = ref 0 in
+  let schedule_event t e =
+    incr pending_events;
+    schedule_event t e
+  in
+  let ccb : ccb_entry Vp_util.Fifo.t = Vp_util.Fifo.create () in
+  let stores = ref [] in
+  (* Per-prediction state. *)
+  let ovb_pred_known = Array.make num_preds max_int in
+  (* Per-spec-op state (indexed by transformed id). *)
+  let unresolved = Array.make new_n 0 in
+  let tainted = Array.make new_n false in
+  let spec_correct_known = Array.make new_n max_int in
+  let cce_value_time = Array.make new_n max_int in
+  Array.iter
+    (fun (op : Vp_ir.Operation.t) ->
+      if Vp_ir.Operation.is_speculative op then
+        unresolved.(op.id) <- List.length sb.pred_deps.(op.id))
+    (Vp_ir.Block.ops block);
+  let sync_bit_of s =
+    match Vp_ir.Operation.sets_sync_bit (Vp_ir.Block.op block s) with
+    | Some b -> b
+    | None -> assert false
+  in
+  (* Accounting. *)
+  let last_completion = ref 0 in
+  let complete_at t = if t > !last_completion then last_completion := t in
+  let vliw_last = ref 0 in
+  let vliw_complete_at t =
+    complete_at t;
+    if t > !vliw_last then vliw_last := t
+  in
+  let stall_cycles = ref 0 in
+  let flushed = ref 0 in
+  let recomputed = ref 0 in
+  (* Old destination values captured at speculative issue: recovery restores
+     them when the operation turns out predicated off (the transform only
+     speculates guarded ops whose destination is a first write, so the
+     capture is always the correct old value). *)
+  let captured_old = Array.make new_n 0 in
+  (* Observation plumbing (engaged only when an observer is supplied). *)
+  let issued_ops = ref [] in
+  let cycle_actions = ref [] in
+  let op_issued = Array.make new_n false in
+
+  let correct_known_scheduled = Array.make new_n false in
+  (* A speculative operation whose every prediction has verified correct is
+     resolved: its Synchronization-register bit is cleared and the OVB learns
+     its state one cycle later. Called when a check completes, and again when
+     a speculative operation issues after its checks already finished (its
+     just-set bit must not linger). *)
+  let resolve_if_verified now s =
+    if unresolved.(s) = 0 && not tainted.(s) then begin
+      Vp_util.Bitset.clear sync (sync_bit_of s);
+      if not correct_known_scheduled.(s) then begin
+        correct_known_scheduled.(s) <- true;
+        schedule_event (now + 1) (Spec_correct_known { s })
+      end
+    end
+  in
+  let handle_check_complete now k =
+    let p = sb.predicted.(k) in
+    Vp_util.Bitset.clear sync p.sync_bit;
+    (* The check re-executed the load: the correct value lands in the
+       destination register — unless the (guarded) load was predicated off,
+       in which case the destination is untouched and the verification
+       machinery still runs (off-path consumers are themselves off). *)
+    if reference.Reference.executed.(orig_of p.check_id) then
+      write_reg p.dest_reg (correct_result p.check_id);
+    complete_at now;
+    schedule_event (now + 1) (Ovb_pred_known { k });
+    let correct = outcomes.(k) in
+    Array.iter
+      (fun (op : Vp_ir.Operation.t) ->
+        if
+          Vp_ir.Operation.is_speculative op
+          && List.mem k sb.pred_deps.(op.id)
+        then begin
+          unresolved.(op.id) <- unresolved.(op.id) - 1;
+          if not correct then tainted.(op.id) <- true;
+          resolve_if_verified now op.id
+        end)
+      (Vp_ir.Block.ops block)
+  in
+
+  let handle_event now = function
+    | Vliw_write { reg; value } ->
+        write_reg reg value;
+        complete_at now
+    | Check_complete { k } -> handle_check_complete now k
+    | Ovb_pred_known { k } -> ovb_pred_known.(k) <- now
+    | Spec_correct_known { s } -> spec_correct_known.(s) <- now
+    | Cce_complete { s; value } ->
+        cce_value_time.(s) <- now;
+        Vp_util.Bitset.clear sync (sync_bit_of s);
+        if sb.cce_writeback.(s) then begin
+          let r = Option.get (Vp_ir.Operation.writes (Vp_ir.Block.op block s)) in
+          write_reg r value
+        end;
+        complete_at now
+    | Store_commit { addr; value } ->
+        stores := (addr, value) :: !stores;
+        complete_at now
+  in
+
+  (* One CCE head step: returns [true] if the head was retired. *)
+  let cce_step now =
+    match Vp_util.Fifo.peek ccb with
+    | None -> false
+    | Some { s; entry_time } when entry_time < now -> (
+        let ready_and_correct =
+          List.fold_left
+            (fun acc src ->
+              match acc with
+              | None -> None
+              | Some correct_so_far -> (
+                  match src with
+                  | Verified -> Some correct_so_far
+                  | From_prediction k ->
+                      if ovb_pred_known.(k) <= now then
+                        Some (correct_so_far && outcomes.(k))
+                      else None
+                  | From_spec s' ->
+                      if spec_correct_known.(s') <= now then
+                        Some correct_so_far
+                      else if cce_value_time.(s') <= now then Some false
+                      else None))
+            (Some true) sb.operand_sources.(s)
+        in
+        match ready_and_correct with
+        | None ->
+            (* head stalls on an unresolved operand *)
+            if observer <> None then
+              cycle_actions := Engine_trace.Cce_stalled s :: !cycle_actions;
+            false
+        | Some true ->
+            ignore (Vp_util.Fifo.pop ccb);
+            incr flushed;
+            if observer <> None then
+              cycle_actions := Engine_trace.Cce_flushed s :: !cycle_actions;
+            true
+        | Some false ->
+            ignore (Vp_util.Fifo.pop ccb);
+            incr recomputed;
+            if observer <> None then
+              cycle_actions := Engine_trace.Cce_recompute s :: !cycle_actions;
+            (* Re-execution with fully correct operands yields the
+               reference value — or, if the operation turns out predicated
+               off, restores the old destination value captured at issue. *)
+            let value =
+              if reference.Reference.executed.(orig_of s) then
+                correct_result s
+              else captured_old.(s)
+            in
+            schedule_event (now + latency s) (Cce_complete { s; value });
+            true)
+    | Some _ -> false (* entered this very cycle; processed next cycle *)
+  in
+
+  (* Issue every operation of the instruction at static cycle [c]. *)
+  let issue_instruction now c =
+    List.iter
+      (fun (op : Vp_ir.Operation.t) ->
+        op_issued.(op.id) <- true;
+        if observer <> None then issued_ops := op.id :: !issued_ops;
+        vliw_complete_at (now + latency op.id);
+        let captured = List.map read_reg op.srcs in
+        (* Predication: guarded operations are Normal/Non_speculative by
+           policy; their (verified) guard decides whether any state
+           changes. The slot is occupied either way. *)
+        let guard_on =
+          match op.guard with
+          | None -> true
+          | Some (p, polarity) -> read_reg p <> 0 = polarity
+        in
+        match op.form with
+        | (Normal | Non_speculative) when not guard_on ->
+            assert (op.guard <> None)
+            (* predicated off with a verified guard: no state change *)
+        | Ldpred_of { sync_bit; _ } ->
+            let k = op.id in
+            Vp_util.Bitset.set sync sync_bit;
+            let correct = correct_result sb.predicted.(k).check_id in
+            let value =
+              if outcomes.(k) then correct else Alu.wrong_value correct
+            in
+            schedule_event (now + latency op.id)
+              (Vliw_write { reg = sb.predicted.(k).pred_reg; value })
+        | Check _ ->
+            let k =
+              match Vp_vspec.Spec_block.prediction_by_check sb op.id with
+              | Some p -> p.index
+              | None -> assert false
+            in
+            schedule_event (now + latency op.id) (Check_complete { k })
+        | Speculative { sync_bit } ->
+            Vp_util.Bitset.set sync sync_bit;
+            (match op.dst with
+            | Some reg -> captured_old.(op.id) <- read_reg reg
+            | None -> assert false (* speculated ops write registers *));
+            (* [guard_on] was evaluated from the (possibly predicted)
+               register file: a wrong decision here is exactly what the
+               CCE recovers from. *)
+            if guard_on then begin
+              let value =
+                if Vp_ir.Operation.is_load op then
+                  Alu.load_result
+                    ~addr:(List.hd captured)
+                    ~correct_addr:
+                      (List.hd reference.Reference.operands.(orig_of op.id))
+                    ~correct_value:(correct_result op.id)
+                else Alu.eval op.opcode captured
+              in
+              schedule_event (now + latency op.id)
+                (Vliw_write { reg = Option.get op.dst; value })
+            end;
+            let ok = Vp_util.Fifo.push ccb { s = op.id; entry_time = now } in
+            assert ok (* capacity was checked before issue *);
+            (* If the checks already verified this operation's predictions
+               correct, the bit just set must resolve immediately. *)
+            resolve_if_verified now op.id
+        | Normal | Non_speculative -> (
+            match op.opcode with
+            | Store -> (
+                match captured with
+                | [ addr; value ] ->
+                    schedule_event (now + latency op.id)
+                      (Store_commit { addr; value })
+                | _ -> assert false)
+            | Branch -> ()
+            | Load ->
+                schedule_event (now + latency op.id)
+                  (Vliw_write
+                     {
+                       reg = Option.get op.dst;
+                       value = correct_result op.id;
+                     })
+            | Ld_pred -> assert false (* always carries Ldpred_of form *)
+            | Add | Sub | Mul | Div | And | Or | Xor | Shift | Move | Cmp
+            | Fadd | Fmul | Fdiv ->
+                schedule_event (now + latency op.id)
+                  (Vliw_write
+                     {
+                       reg = Option.get op.dst;
+                       value = Alu.eval op.opcode captured;
+                     })))
+      insns.(c)
+  in
+
+  (* --- Main clock loop --- *)
+  let limit =
+    (20 * (Vp_sched.Schedule.length sb.schedule + 10)) + (50 * new_n) + 200
+  in
+  let next_insn = ref 0 in
+  let now = ref 0 in
+  let work_remaining () =
+    !next_insn < num_insns || !pending_events > 0
+    || not (Vp_util.Fifo.is_empty ccb)
+  in
+  while work_remaining () do
+    if !now > limit then begin
+      let head =
+        match Vp_util.Fifo.peek ccb with
+        | Some { s; entry_time } -> Printf.sprintf "op %d (entered %d)" s entry_time
+        | None -> "none"
+      in
+      raise
+        (Deadlock
+           (Printf.sprintf
+              "block %s: no progress by cycle %d (insn %d/%d, %d pending \
+               events, CCB %d head %s, sync %s)"
+              (Vp_ir.Block.label block) !now !next_insn num_insns
+              !pending_events
+              (Vp_util.Fifo.length ccb)
+              head
+              (Format.asprintf "%a" Vp_util.Bitset.pp sync)))
+    end;
+    (* 1. Completions scheduled for this cycle. *)
+    (match Hashtbl.find_opt events !now with
+    | Some q ->
+        Queue.iter
+          (fun e ->
+            decr pending_events;
+            handle_event !now e)
+          q;
+        Hashtbl.remove events !now
+    | None -> ());
+    (* 2. Compensation Code Engine: up to [cce_retire_width] head
+       retirements per cycle. *)
+    let rec cce_drain budget =
+      if budget > 0 && cce_step !now then cce_drain (budget - 1)
+    in
+    cce_drain cce_retire_width;
+    (* 3. VLIW Engine issue. *)
+    let vliw_stalled = ref false in
+    if !next_insn < num_insns then begin
+      let c = !next_insn in
+      let mask = sb.wait_masks.(c) in
+      let spec_in_insn =
+        List.length (List.filter Vp_ir.Operation.is_speculative insns.(c))
+      in
+      let ccb_room =
+        Vp_util.Fifo.length ccb + spec_in_insn <= ccb_capacity
+      in
+      if (not (Vp_util.Bitset.intersects mask sync)) && ccb_room then begin
+        issue_instruction !now c;
+        incr next_insn
+      end
+      else begin
+        incr stall_cycles;
+        vliw_stalled := true
+      end
+    end;
+    (* 4. Observation: one snapshot per cycle, Figure-7 style. *)
+    (match observer with
+    | Some notify ->
+        let now = !now in
+        let label i =
+          Printf.sprintf "v%d"
+            (Option.value ~default:(-1)
+               (Vp_ir.Operation.writes (Vp_ir.Block.op block i)))
+        in
+        let ovb_predictions =
+          Array.to_list sb.predicted
+          |> List.filter_map (fun (p : Vp_vspec.Spec_block.predicted_load) ->
+                 if not op_issued.(p.ldpred_id) then None
+                 else
+                   Some
+                     {
+                       Engine_trace.label = Printf.sprintf "v%d" p.dest_reg;
+                       kind = `Predicted;
+                       state =
+                         (if ovb_pred_known.(p.index) <= now then
+                            if outcomes.(p.index) then Engine_trace.C
+                            else Engine_trace.R
+                          else Engine_trace.PN);
+                     })
+        in
+        let ovb_speculative =
+          Array.to_list (Vp_ir.Block.ops block)
+          |> List.filter_map (fun (op : Vp_ir.Operation.t) ->
+                 if
+                   not
+                     (Vp_ir.Operation.is_speculative op && op_issued.(op.id))
+                 then None
+                 else
+                   Some
+                     {
+                       Engine_trace.label = label op.id;
+                       kind = `Speculative;
+                       state =
+                         (if spec_correct_known.(op.id) <= now then
+                            Engine_trace.C
+                          else if
+                            cce_value_time.(op.id) <= now
+                            || (unresolved.(op.id) = 0 && tainted.(op.id))
+                          then Engine_trace.R
+                          else Engine_trace.RN);
+                     })
+        in
+        notify
+          {
+            Engine_trace.cycle = now;
+            issued = List.rev !issued_ops;
+            vliw_stalled = !vliw_stalled;
+            sync_bits = Vp_util.Bitset.elements sync;
+            ccb =
+              List.map (fun (e : ccb_entry) -> e.s) (Vp_util.Fifo.to_list ccb);
+            ovb = ovb_predictions @ ovb_speculative;
+            cce = List.rev !cycle_actions;
+          };
+        issued_ops := [];
+        cycle_actions := []
+    | None -> ());
+    incr now
+  done;
+  let final_regs =
+    List.map (fun (r, _) -> (r, read_reg r)) reference.Reference.final_regs
+  in
+  {
+    cycles = !last_completion;
+    vliw_cycles = !vliw_last;
+    stall_cycles = !stall_cycles;
+    flushed = !flushed;
+    recomputed = !recomputed;
+    ccb_high_water = Vp_util.Fifo.high_water_mark ccb;
+    mispredicted = num_preds - Scenario.count_correct outcomes;
+    final_regs;
+    stores = List.rev !stores;
+  }
+
+let run_unspeculated schedule ~reference =
+  {
+    cycles = Vp_sched.Schedule.length schedule;
+    vliw_cycles = Vp_sched.Schedule.length schedule;
+    stall_cycles = 0;
+    flushed = 0;
+    recomputed = 0;
+    ccb_high_water = 0;
+    mispredicted = 0;
+    final_regs = reference.Reference.final_regs;
+    stores = reference.Reference.stores;
+  }

@@ -1,0 +1,58 @@
+type ovb_state = PN | RN | C | R
+
+type ovb_entry = {
+  label : string;
+  kind : [ `Predicted | `Speculative ];
+  state : ovb_state;
+}
+
+type cce_action =
+  | Cce_stalled of int
+  | Cce_flushed of int
+  | Cce_recompute of int
+
+type snapshot = {
+  cycle : int;
+  issued : int list;
+  vliw_stalled : bool;
+  sync_bits : int list;
+  ccb : int list;
+  ovb : ovb_entry list;
+  cce : cce_action list;
+}
+
+type observer = snapshot -> unit
+
+let collector () =
+  let acc = ref [] in
+  ((fun s -> acc := s :: !acc), fun () -> List.rev !acc)
+
+let state_name = function PN -> "PN" | RN -> "RN" | C -> "C" | R -> "R"
+
+let pp_cce ppf = function
+  | Cce_stalled i -> Format.fprintf ppf "stall op %d" i
+  | Cce_flushed i -> Format.fprintf ppf "flush op %d" i
+  | Cce_recompute i -> Format.fprintf ppf "recompute op %d" i
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "cycle %2d | issue" s.cycle;
+  if s.issued = [] then
+    Format.pp_print_string ppf (if s.vliw_stalled then " (stall)" else " -");
+  List.iter (Format.fprintf ppf " %d") s.issued;
+  Format.fprintf ppf " | CCB [%s] | OVB"
+    (String.concat ";" (List.map string_of_int s.ccb));
+  if s.ovb = [] then Format.pp_print_string ppf " -";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf " %s:%s%s" e.label
+        (match e.kind with `Predicted -> "P" | `Speculative -> "S")
+        (state_name e.state))
+    s.ovb;
+  Format.fprintf ppf " | CCE";
+  if s.cce = [] then Format.pp_print_string ppf " idle";
+  List.iter (Format.fprintf ppf " %a" pp_cce) s.cce
+
+let pp ppf snapshots =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun s -> Format.fprintf ppf "%a@ " pp_snapshot s) snapshots;
+  Format.fprintf ppf "@]"

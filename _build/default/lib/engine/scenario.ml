@@ -1,0 +1,32 @@
+type t = bool array
+
+let all_correct n = Array.make n true
+let all_incorrect n = Array.make n false
+
+let enumerate n =
+  if n < 0 || n > 16 then invalid_arg "Scenario.enumerate: n out of [0, 16]";
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun k -> code land (1 lsl k) <> 0))
+
+let probability ~rates t =
+  if Array.length rates <> Array.length t then
+    invalid_arg "Scenario.probability: length mismatch";
+  let p = ref 1.0 in
+  Array.iteri
+    (fun k correct -> p := !p *. (if correct then rates.(k) else 1.0 -. rates.(k)))
+    t;
+  !p
+
+let sample rng ~rates =
+  Array.map (fun r -> Vp_util.Rng.bernoulli rng r) rates
+
+let count_correct t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t
+
+let is_all_correct t = Array.for_all Fun.id t
+let is_all_incorrect t = Array.length t > 0 && Array.for_all not t
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ""
+       (Array.to_list (Array.map (fun b -> if b then "+" else "-") t)))

@@ -1,0 +1,38 @@
+(** Misprediction scenarios: which predictions of a block come out correct.
+
+    Tables 2–4 need the {e best case} (every prediction correct) and the
+    {e worst case} (every prediction incorrect); Table 2's time-fraction
+    accounting needs the probability of every outcome vector under the
+    profiled per-load rates. A scenario is simply a vector of outcomes, one
+    per predicted load of a block. *)
+
+type t = bool array
+(** [t.(k)] is [true] when prediction [k] is correct. The array length is
+    the block's number of predictions. *)
+
+val all_correct : int -> t
+
+val all_incorrect : int -> t
+
+val enumerate : int -> t list
+(** All [2^n] outcome vectors, all-incorrect first, all-correct last
+    (binary counting order). [n] must be ≤ 16. *)
+
+val probability : rates:float array -> t -> float
+(** Probability of the vector when prediction [k] is correct independently
+    with probability [rates.(k)]. *)
+
+val sample : Vp_util.Rng.t -> rates:float array -> t
+(** Draw one outcome vector. *)
+
+val count_correct : t -> int
+
+val is_all_correct : t -> bool
+
+val is_all_incorrect : t -> bool
+(** [true] also requires at least one prediction (an empty scenario is
+    vacuously all-correct, not all-incorrect), matching the paper's "blocks
+    in which all predictions made were found to be incorrect". *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["[+-+]"]: ['+'] correct, ['-'] incorrect. *)

@@ -1,0 +1,387 @@
+type item =
+  | Plain of Vp_sched.Schedule.t * Reference.t
+  | Speculated of {
+      sb : Vp_vspec.Spec_block.t;
+      reference : Reference.t;
+      outcomes : Scenario.t;
+    }
+
+type result = {
+  total_cycles : int;
+  issue_cycles : int;
+  stall_cycles : int;
+  flushed : int;
+  recomputed : int;
+  ccb_high_water : int;
+  state_ok : bool;
+}
+
+exception Deadlock of string
+
+(* Per-instance machine state, mirroring Dual_engine's block-local state.
+   Registers are private (generated blocks are register-disjoint apart from
+   the read-only live-ins), Synchronization bits are namespaced by the
+   instance. *)
+type instance = {
+  sb : Vp_vspec.Spec_block.t;
+  reference : Reference.t;
+  outcomes : Scenario.t;
+  insns : Vp_ir.Operation.t list array;
+  sync : Vp_util.Bitset.t;
+  regs : (int, int) Hashtbl.t;
+  stores : (int * int) list ref;
+  ovb_pred_known : int array;
+  unresolved : int array;
+  tainted : bool array;
+  spec_correct_known : int array;
+  cce_value_time : int array;
+  correct_known_scheduled : bool array;
+  captured_old : int array;
+}
+
+type ccb_entry = { inst : instance; s : int; entry_time : int }
+
+let make_instance sb reference outcomes =
+  let new_n = Vp_ir.Block.size sb.Vp_vspec.Spec_block.block in
+  let num_preds = Array.length sb.predicted in
+  if Array.length outcomes <> num_preds then
+    invalid_arg "Sequence_engine.run: outcomes length mismatch";
+  let inst =
+    {
+      sb;
+      reference;
+      outcomes;
+      insns = Vp_sched.Schedule.instructions sb.schedule;
+      sync = Vp_util.Bitset.create ();
+      regs = Hashtbl.create 32;
+      stores = ref [];
+      ovb_pred_known = Array.make num_preds max_int;
+      unresolved = Array.make new_n 0;
+      tainted = Array.make new_n false;
+      spec_correct_known = Array.make new_n max_int;
+      cce_value_time = Array.make new_n max_int;
+      correct_known_scheduled = Array.make new_n false;
+      captured_old = Array.make new_n 0;
+    }
+  in
+  Array.iter
+    (fun (op : Vp_ir.Operation.t) ->
+      if Vp_ir.Operation.is_speculative op then
+        inst.unresolved.(op.id) <- List.length sb.pred_deps.(op.id))
+    (Vp_ir.Block.ops sb.block);
+  inst
+
+let run ?(ccb_capacity = max_int) ?(cce_retire_width = 1) ~live_in items =
+  if cce_retire_width < 1 then
+    invalid_arg "Sequence_engine.run: cce_retire_width < 1";
+  (* --- Shared machine state --- *)
+  let events : (int, (unit -> unit) Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let pending_events = ref 0 in
+  let schedule_event t thunk =
+    incr pending_events;
+    let q =
+      match Hashtbl.find_opt events t with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace events t q;
+          q
+    in
+    Queue.push thunk q
+  in
+  let ccb : ccb_entry Vp_util.Fifo.t = Vp_util.Fifo.create () in
+  let last_completion = ref 0 in
+  let complete_at t = if t > !last_completion then last_completion := t in
+  let last_issue = ref 0 in
+  let stall_cycles = ref 0 in
+  let flushed = ref 0 in
+  let recomputed = ref 0 in
+
+  (* --- Per-instance helpers (the Dual_engine semantics) --- *)
+  let read_reg inst r =
+    match Hashtbl.find_opt inst.regs r with Some v -> v | None -> live_in r
+  in
+  let write_reg inst r v = Hashtbl.replace inst.regs r v in
+  let latency inst i = Vp_ir.Depgraph.latency inst.sb.Vp_vspec.Spec_block.graph i in
+  let orig_of inst i = i - Array.length inst.sb.Vp_vspec.Spec_block.predicted in
+  let correct_result inst i =
+    inst.reference.Reference.results.(orig_of inst i)
+  in
+  let sync_bit_of inst s =
+    match
+      Vp_ir.Operation.sets_sync_bit (Vp_ir.Block.op inst.sb.block s)
+    with
+    | Some b -> b
+    | None -> assert false
+  in
+  let resolve_if_verified now inst s =
+    if inst.unresolved.(s) = 0 && not inst.tainted.(s) then begin
+      Vp_util.Bitset.clear inst.sync (sync_bit_of inst s);
+      if not inst.correct_known_scheduled.(s) then begin
+        inst.correct_known_scheduled.(s) <- true;
+        schedule_event (now + 1) (fun () -> inst.spec_correct_known.(s) <- now + 1)
+      end
+    end
+  in
+  let handle_check_complete now inst k =
+    let p = inst.sb.Vp_vspec.Spec_block.predicted.(k) in
+    Vp_util.Bitset.clear inst.sync p.sync_bit;
+    if inst.reference.Reference.executed.(orig_of inst p.check_id) then
+      write_reg inst p.dest_reg (correct_result inst p.check_id);
+    complete_at now;
+    schedule_event (now + 1) (fun () -> inst.ovb_pred_known.(k) <- now + 1);
+    let correct = inst.outcomes.(k) in
+    Array.iter
+      (fun (op : Vp_ir.Operation.t) ->
+        if
+          Vp_ir.Operation.is_speculative op
+          && List.mem k inst.sb.pred_deps.(op.id)
+        then begin
+          inst.unresolved.(op.id) <- inst.unresolved.(op.id) - 1;
+          if not correct then inst.tainted.(op.id) <- true;
+          resolve_if_verified now inst op.id
+        end)
+      (Vp_ir.Block.ops inst.sb.block)
+  in
+  let cce_step now =
+    match Vp_util.Fifo.peek ccb with
+    | None -> false
+    | Some { inst; s; entry_time } when entry_time < now -> (
+        let ready_and_correct =
+          List.fold_left
+            (fun acc src ->
+              match acc with
+              | None -> None
+              | Some correct_so_far -> (
+                  match src with
+                  | Vp_vspec.Spec_block.Verified -> Some correct_so_far
+                  | From_prediction k ->
+                      if inst.ovb_pred_known.(k) <= now then
+                        Some (correct_so_far && inst.outcomes.(k))
+                      else None
+                  | From_spec s' ->
+                      if inst.spec_correct_known.(s') <= now then
+                        Some correct_so_far
+                      else if inst.cce_value_time.(s') <= now then Some false
+                      else None))
+            (Some true)
+            inst.sb.operand_sources.(s)
+        in
+        match ready_and_correct with
+        | None -> false
+        | Some true ->
+            ignore (Vp_util.Fifo.pop ccb);
+            incr flushed;
+            true
+        | Some false ->
+            ignore (Vp_util.Fifo.pop ccb);
+            incr recomputed;
+            let value =
+              if inst.reference.Reference.executed.(orig_of inst s) then
+                correct_result inst s
+              else inst.captured_old.(s)
+            in
+            schedule_event
+              (now + latency inst s)
+              (fun () ->
+                inst.cce_value_time.(s) <- now + latency inst s;
+                Vp_util.Bitset.clear inst.sync (sync_bit_of inst s);
+                if inst.sb.cce_writeback.(s) then begin
+                  let r =
+                    Option.get
+                      (Vp_ir.Operation.writes (Vp_ir.Block.op inst.sb.block s))
+                  in
+                  write_reg inst r value
+                end;
+                complete_at (now + latency inst s));
+            true)
+    | Some _ -> false
+  in
+  let issue_speculated now inst c =
+    List.iter
+      (fun (op : Vp_ir.Operation.t) ->
+        let lat = latency inst op.id in
+        complete_at (now + lat);
+        let captured = List.map (read_reg inst) op.srcs in
+        let guard_on =
+          match op.guard with
+          | None -> true
+          | Some (p, polarity) -> read_reg inst p <> 0 = polarity
+        in
+        match op.form with
+        | (Normal | Non_speculative) when not guard_on ->
+            assert (op.guard <> None)
+        | Ldpred_of { sync_bit; _ } ->
+            let k = op.id in
+            Vp_util.Bitset.set inst.sync sync_bit;
+            let correct =
+              correct_result inst inst.sb.predicted.(k).check_id
+            in
+            let value =
+              if inst.outcomes.(k) then correct else Alu.wrong_value correct
+            in
+            let reg = inst.sb.predicted.(k).pred_reg in
+            schedule_event (now + lat) (fun () -> write_reg inst reg value)
+        | Check _ ->
+            let k =
+              match Vp_vspec.Spec_block.prediction_by_check inst.sb op.id with
+              | Some p -> p.index
+              | None -> assert false
+            in
+            schedule_event (now + lat) (fun () ->
+                handle_check_complete (now + lat) inst k)
+        | Speculative { sync_bit } ->
+            Vp_util.Bitset.set inst.sync sync_bit;
+            let reg = Option.get op.dst in
+            inst.captured_old.(op.id) <- read_reg inst reg;
+            if guard_on then begin
+              let value =
+                if Vp_ir.Operation.is_load op then
+                  Alu.load_result
+                    ~addr:(List.hd captured)
+                    ~correct_addr:
+                      (List.hd
+                         inst.reference.Reference.operands.(orig_of inst op.id))
+                    ~correct_value:(correct_result inst op.id)
+                else Alu.eval op.opcode captured
+              in
+              schedule_event (now + lat) (fun () -> write_reg inst reg value)
+            end;
+            let ok =
+              Vp_util.Fifo.push ccb { inst; s = op.id; entry_time = now }
+            in
+            assert ok;
+            resolve_if_verified now inst op.id
+        | Normal | Non_speculative -> (
+            match op.opcode with
+            | Store ->
+                let addr, v =
+                  match captured with
+                  | [ a; v ] -> (a, v)
+                  | _ -> assert false
+                in
+                schedule_event (now + lat) (fun () ->
+                    inst.stores := (addr, v) :: !(inst.stores);
+                    complete_at (now + lat))
+            | Branch -> ()
+            | Load ->
+                let reg = Option.get op.dst in
+                let value = correct_result inst op.id in
+                schedule_event (now + lat) (fun () -> write_reg inst reg value)
+            | Ld_pred -> assert false
+            | Add | Sub | Mul | Div | And | Or | Xor | Shift | Move | Cmp
+            | Fadd | Fmul | Fdiv ->
+                let reg = Option.get op.dst in
+                let value = Alu.eval op.opcode captured in
+                schedule_event (now + lat) (fun () -> write_reg inst reg value)))
+      inst.insns.(c)
+  in
+
+  (* --- The fetch stream: items with a per-item cursor --- *)
+  let instances =
+    List.map
+      (fun item ->
+        match item with
+        | Plain (s, r) -> `Plain (s, r)
+        | Speculated { sb; reference; outcomes } ->
+            `Spec (make_instance sb reference outcomes))
+      items
+  in
+  let stream = ref instances in
+  let cursor = ref 0 in
+  let static_len = ref 0 in
+  List.iter
+    (fun i ->
+      static_len :=
+        !static_len
+        +
+        match i with
+        | `Plain (s, _) -> Vp_sched.Schedule.num_instructions s
+        | `Spec inst -> Array.length inst.insns)
+    instances;
+  let limit = (20 * (!static_len + 10)) + 2000 in
+
+  let work_remaining () =
+    !stream <> [] || !pending_events > 0 || not (Vp_util.Fifo.is_empty ccb)
+  in
+  let now = ref 0 in
+  while work_remaining () do
+    if !now > limit then
+      raise
+        (Deadlock
+           (Printf.sprintf "sequence: no progress by cycle %d (%d pending)"
+              !now !pending_events));
+    (match Hashtbl.find_opt events !now with
+    | Some q ->
+        Queue.iter
+          (fun thunk ->
+            decr pending_events;
+            thunk ())
+          q;
+        Hashtbl.remove events !now
+    | None -> ());
+    let rec drain budget =
+      if budget > 0 && cce_step !now then drain (budget - 1)
+    in
+    drain cce_retire_width;
+    (* VLIW fetch: one instruction per cycle, strictly in order. *)
+    (match !stream with
+    | [] -> ()
+    | `Plain (s, _) :: rest ->
+        let insns = Vp_sched.Schedule.instructions s in
+        List.iter
+          (fun (op : Vp_ir.Operation.t) ->
+            complete_at
+              (!now + Vp_ir.Depgraph.latency (Vp_sched.Schedule.graph s) op.id))
+          insns.(!cursor);
+        last_issue := !now + 1;
+        incr cursor;
+        if !cursor >= Array.length insns then begin
+          stream := rest;
+          cursor := 0
+        end
+    | `Spec inst :: rest ->
+        let c = !cursor in
+        let mask = inst.sb.wait_masks.(c) in
+        let spec_in_insn =
+          List.length
+            (List.filter Vp_ir.Operation.is_speculative inst.insns.(c))
+        in
+        let room = Vp_util.Fifo.length ccb + spec_in_insn <= ccb_capacity in
+        if (not (Vp_util.Bitset.intersects mask inst.sync)) && room then begin
+          issue_speculated !now inst c;
+          last_issue := !now + 1;
+          incr cursor;
+          if c + 1 >= Array.length inst.insns then begin
+            stream := rest;
+            cursor := 0
+          end
+        end
+        else incr stall_cycles);
+    incr now
+  done;
+  (* Sequence-level equivalence: every instance must have converged to its
+     reference's architectural state. *)
+  let state_ok =
+    List.for_all
+      (fun i ->
+        match i with
+        | `Plain _ -> true
+        | `Spec inst ->
+            let regs_ok =
+              List.for_all
+                (fun (r, v) -> read_reg inst r = v)
+                inst.reference.Reference.final_regs
+            in
+            regs_ok && List.rev !(inst.stores) = inst.reference.Reference.stores)
+      instances
+  in
+  {
+    total_cycles = !last_completion;
+    issue_cycles = !last_issue;
+    stall_cycles = !stall_cycles;
+    flushed = !flushed;
+    recomputed = !recomputed;
+    ccb_high_water = Vp_util.Fifo.high_water_mark ccb;
+    state_ok;
+  }

@@ -1,0 +1,66 @@
+(** Whole-sequence co-simulation: consecutive dynamic blocks sharing one
+    clock, one VLIW fetch stream, and one Compensation Code Engine.
+
+    The per-block simulator ({!Dual_engine}) prices each block in
+    isolation, which forces an accounting decision: charge compensation
+    work still draining in the CCE to the block that spawned it
+    ([cycles]), or let it overlap the next block ([vliw_cycles])? The
+    machine the paper actually describes does the latter — "Any code
+    executed due to mispredictions is executed in parallel with the VLIW
+    instructions" — but the overlap is not free: the single in-order CCE is
+    shared, so one block's recovery backlog delays the next block's.
+
+    This module simulates the real thing: block instances issue
+    back-to-back (instance [i+1]'s first instruction follows instance
+    [i]'s last), every speculated operation enters the {e one} CCB in
+    global order, and each instance stalls on its own Synchronization
+    register exactly as in {!Dual_engine}. The sequence total therefore
+    lands between the two per-block bounds:
+
+    {v  Σ vliw_cycles  ≲  total  ≤  Σ cycles  v}
+
+    which the overlap-validation experiment measures per benchmark.
+
+    Modelling notes, matching the workload generator's conventions:
+    registers are private per block instance except the read-only live-ins
+    (generated blocks are register-disjoint apart from those), and
+    Synchronization-register bits are namespaced per in-flight instance
+    (hardware tags; the compiler's per-block bit indices never collide
+    because blocks share no speculative dataflow). *)
+
+type item =
+  | Plain of Vp_sched.Schedule.t * Reference.t
+      (** an unspeculated block: occupies the fetch stream for its
+          schedule, no predictions *)
+  | Speculated of {
+      sb : Vp_vspec.Spec_block.t;
+      reference : Reference.t;
+      outcomes : Scenario.t;
+    }
+
+type result = {
+  total_cycles : int;
+      (** last completion of anything (VLIW results, CCE recoveries,
+          stores) across the whole sequence *)
+  issue_cycles : int;  (** cycle after the last instruction issued *)
+  stall_cycles : int;  (** total VLIW stall cycles *)
+  flushed : int;
+  recomputed : int;
+  ccb_high_water : int;
+  state_ok : bool;
+      (** every instance's final registers and stores matched its
+          reference — the sequence-level equivalence check *)
+}
+
+exception Deadlock of string
+
+val run :
+  ?ccb_capacity:int ->
+  ?cce_retire_width:int ->
+  live_in:(int -> int) ->
+  item list ->
+  result
+(** Simulate the sequence. Raises [Invalid_argument] on outcome-arity
+    mismatches, {!Deadlock} on lack of progress (impossible for transforms
+    produced with an unbounded CCB; see {!Dual_engine} on bounded-CCB
+    co-design). *)

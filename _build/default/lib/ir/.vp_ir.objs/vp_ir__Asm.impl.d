@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Block Buffer Filename Fun List Opcode Operation Printf Program String

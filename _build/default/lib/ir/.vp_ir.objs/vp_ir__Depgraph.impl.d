@@ -1,0 +1,1 @@
+lib/ir/depgraph.ml: Array Block Buffer Format Hashtbl List Operation Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/depgraph.mli: Block Format Operation

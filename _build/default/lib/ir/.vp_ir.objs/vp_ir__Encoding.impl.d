@@ -1,0 +1,1 @@
+lib/ir/encoding.ml: Array Int64 List Opcode Operation Printf Vp_util

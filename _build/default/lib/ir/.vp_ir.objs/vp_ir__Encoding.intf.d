@@ -1,0 +1,1 @@
+lib/ir/encoding.mli: Operation Vp_util

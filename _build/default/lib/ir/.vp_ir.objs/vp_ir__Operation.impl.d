@@ -1,0 +1,1 @@
+lib/ir/operation.ml: Format List Opcode Printf String

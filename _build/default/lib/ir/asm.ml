@@ -1,0 +1,290 @@
+type load_rates = (int * float) list
+
+let opcode_of_mnemonic =
+  let table =
+    List.map (fun o -> (Opcode.mnemonic o, o)) Opcode.all
+  in
+  fun name -> List.assoc_opt name table
+
+(* Tokenize one line into words, treating ',' and '<-' as separators. *)
+let tokens line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_reg w =
+  if String.length w >= 2 && w.[0] = 'r' then
+    int_of_string_opt (String.sub w 1 (String.length w - 1))
+  else None
+
+let parse_stream w =
+  if String.length w >= 3 && w.[0] = '@' && w.[1] = 's' then
+    int_of_string_opt (String.sub w 2 (String.length w - 2))
+  else None
+
+let parse_rate w =
+  if String.length w >= 2 && w.[0] = '!' then
+    float_of_string_opt (String.sub w 1 (String.length w - 1))
+  else None
+
+exception Parse_error of string
+
+let parse_line ~id ~next_stream words =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  (* strip an optional "N:" prefix *)
+  let words =
+    match words with
+    | w :: rest
+      when String.length w >= 2
+           && w.[String.length w - 1] = ':'
+           && int_of_string_opt (String.sub w 0 (String.length w - 1)) <> None
+      ->
+        rest
+    | _ -> words
+  in
+  (* optional "(rP)" / "(!rP)" guard prefix *)
+  let guard, words =
+    match words with
+    | w :: rest
+      when String.length w >= 4 && w.[0] = '(' && w.[String.length w - 1] = ')'
+      -> (
+        let body = String.sub w 1 (String.length w - 2) in
+        let polarity, reg_text =
+          if body.[0] = '!' then
+            (false, String.sub body 1 (String.length body - 1))
+          else (true, body)
+        in
+        match parse_reg reg_text with
+        | Some p -> (Some (p, polarity), rest)
+        | None -> fail "bad guard %S" w)
+    | _ -> (None, words)
+  in
+  (* optional "rD <-" destination *)
+  let dst, words =
+    match words with
+    | d :: "<-" :: rest -> (
+        match parse_reg d with
+        | Some r -> (Some r, rest)
+        | None -> fail "bad destination %S" d)
+    | _ -> (None, words)
+  in
+  let opcode, words =
+    match words with
+    | o :: rest -> (
+        match opcode_of_mnemonic o with
+        | Some op -> (op, rest)
+        | None -> fail "unknown opcode %S" o)
+    | [] -> fail "missing opcode"
+  in
+  (* trailing annotations: @sN stream, !R rate *)
+  let stream = ref None and rate = ref None in
+  let operand_words =
+    List.filter
+      (fun w ->
+        match (parse_stream w, parse_rate w) with
+        | Some s, _ ->
+            stream := Some s;
+            false
+        | _, Some r ->
+            rate := Some r;
+            false
+        | None, None -> true)
+      words
+  in
+  let srcs =
+    List.map
+      (fun w ->
+        match parse_reg w with
+        | Some r -> r
+        | None -> fail "bad operand %S" w)
+      operand_words
+  in
+  (match (dst, Opcode.writes_register opcode) with
+  | None, true -> fail "%s needs a destination" (Opcode.mnemonic opcode)
+  | Some _, false -> fail "%s takes no destination" (Opcode.mnemonic opcode)
+  | _ -> ());
+  if List.length srcs <> Opcode.num_sources opcode then
+    fail "%s takes %d operand(s), got %d" (Opcode.mnemonic opcode)
+      (Opcode.num_sources opcode) (List.length srcs);
+  if !stream <> None && not (Opcode.is_load opcode) then
+    fail "only loads take a stream annotation";
+  if !rate <> None && not (Opcode.is_load opcode) then
+    fail "only loads take a rate annotation";
+  let stream =
+    if Opcode.is_load opcode then
+      Some
+        (match !stream with
+        | Some s -> s
+        | None ->
+            let s = !next_stream in
+            incr next_stream;
+            s)
+    else None
+  in
+  (* keep implicit numbering ahead of any explicit ids *)
+  (match stream with
+  | Some s when s >= !next_stream -> next_stream := s + 1
+  | _ -> ());
+  let operation =
+    match dst with
+    | Some d -> Operation.make ~dst:d ~srcs ?guard ?stream ~id opcode
+    | None -> Operation.make ~srcs ?guard ?stream ~id opcode
+  in
+  (operation, !rate)
+
+let parse_block ?(label = "asm") source =
+  let next_stream = ref 0 in
+  let ops = ref [] and rates = ref [] and errors = ref None in
+  String.split_on_char '\n' source
+  |> List.iteri (fun lineno line ->
+         if !errors = None then
+           match tokens line with
+           | [] -> ()
+           | words -> (
+               let id = List.length !ops in
+               try
+                 let operation, rate = parse_line ~id ~next_stream words in
+                 ops := operation :: !ops;
+                 match rate with
+                 | Some r -> rates := (id, r) :: !rates
+                 | None -> ()
+               with
+               | Parse_error m ->
+                   errors := Some (Printf.sprintf "line %d: %s" (lineno + 1) m)
+               | Invalid_argument m ->
+                   errors := Some (Printf.sprintf "line %d: %s" (lineno + 1) m)));
+  match !errors with
+  | Some e -> Error e
+  | None -> (
+      if !ops = [] then Error "empty block"
+      else
+        try Ok (Block.of_ops ~label (List.rev !ops), List.rev !rates)
+        with Invalid_argument m -> Error m)
+
+let parse_program ?(name = "asm") source =
+  let next_stream = ref 0 in
+  let finished = ref [] in
+  let current_label = ref "entry" in
+  let current_count = ref 1 in
+  let current_ops = ref [] in
+  let rates = ref [] in
+  let error = ref None in
+  let flush_block () =
+    match List.rev !current_ops with
+    | [] -> Ok ()
+    | ops -> (
+        try
+          finished :=
+            {
+              Program.block = Block.of_ops ~label:!current_label ops;
+              count = !current_count;
+            }
+            :: !finished;
+          current_ops := [];
+          Ok ()
+        with Invalid_argument m -> Error m)
+  in
+  let parse_label words =
+    (* "label NAME:" or "label NAME * COUNT:" *)
+    match words with
+    | [ "label"; tail ] when String.length tail > 1 && tail.[String.length tail - 1] = ':'
+      ->
+        Some (String.sub tail 0 (String.length tail - 1), 1)
+    | [ "label"; name; "*"; count ]
+      when String.length count > 1 && count.[String.length count - 1] = ':' -> (
+        match
+          int_of_string_opt (String.sub count 0 (String.length count - 1))
+        with
+        | Some c when c >= 0 -> Some (name, c)
+        | _ -> None)
+    | _ -> None
+  in
+  String.split_on_char '\n' source
+  |> List.iteri (fun lineno line ->
+         if !error = None then
+           match tokens line with
+           | [] -> ()
+           | words -> (
+               match parse_label words with
+               | Some (label, count) -> (
+                   match flush_block () with
+                   | Error m ->
+                       error := Some (Printf.sprintf "line %d: %s" lineno m)
+                   | Ok () ->
+                       current_label := label;
+                       current_count := count)
+               | None -> (
+                   let block_index = List.length !finished in
+                   let id = List.length !current_ops in
+                   try
+                     let operation, rate =
+                       parse_line ~id ~next_stream words
+                     in
+                     current_ops := operation :: !current_ops;
+                     match rate with
+                     | Some r ->
+                         rates := ((block_index * 1000) + id, r) :: !rates
+                     | None -> ()
+                   with
+                   | Parse_error m ->
+                       error :=
+                         Some (Printf.sprintf "line %d: %s" (lineno + 1) m)
+                   | Invalid_argument m ->
+                       error :=
+                         Some (Printf.sprintf "line %d: %s" (lineno + 1) m))));
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      match flush_block () with
+      | Error m -> Error m
+      | Ok () -> (
+          match List.rev !finished with
+          | [] -> Error "empty program"
+          | blocks -> (
+              try Ok (Program.create ~name blocks, List.rev !rates)
+              with Invalid_argument m -> Error m)))
+
+let parse_file path =
+  let ic = open_in path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_block ~label:(Filename.remove_extension (Filename.basename path)) source
+
+let to_string block =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun (op : Operation.t) ->
+      Buffer.add_string buf (string_of_int op.id);
+      Buffer.add_string buf ": ";
+      (match op.guard with
+      | Some (p, true) -> Buffer.add_string buf (Printf.sprintf "(r%d) " p)
+      | Some (p, false) -> Buffer.add_string buf (Printf.sprintf "(!r%d) " p)
+      | None -> ());
+      (match op.dst with
+      | Some d -> Buffer.add_string buf (Printf.sprintf "r%d <- " d)
+      | None -> ());
+      Buffer.add_string buf (Opcode.mnemonic op.opcode);
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf (if i = 0 then " " else ", ");
+          Buffer.add_string buf (Printf.sprintf "r%d" r))
+        op.srcs;
+      (match op.stream with
+      | Some s -> Buffer.add_string buf (Printf.sprintf " @s%d" s)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    (Block.ops block);
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Textual assembly for basic blocks.
+
+    A small front-end so that users can write blocks by hand and push them
+    through the whole pipeline (see the CLI's [run] command). The syntax is
+    the pretty-printer's, made forgiving:
+
+    {v
+    # a pointer chase and a store        <- comments with '#' or ';'
+    0: r16 <- load r1 @s0 !0.85          <- optional "id:" prefix (ignored;
+    1: r17 <- load r16 @s1                   ids are positional), loads take
+    2: r18 <- mul r17, r17                   a value-stream "@sN" and an
+    3: store r1, r18                         optional profiled rate "!R"
+    4: r19 <- cmp r18, r2
+    5: branch r19
+    v}
+
+    Registers are [rN]; operands are separated by commas; opcodes are the
+    {!Opcode.mnemonic} names; a leading [(rP)] or [(!rP)] guards the
+    operation on predicate register [rP] (Playdoh-style predication). Loads without an explicit [@sN] get
+    consecutive fresh stream ids. The parser accepts exactly the
+    [Normal]-form language — ISA forms (LdPred, check, ...) are the
+    transform's output, not its input. *)
+
+type load_rates = (int * float) list
+(** [(operation id, profiled rate)] for loads annotated with [!R]. *)
+
+val parse_block :
+  ?label:string -> string -> (Block.t * load_rates, string) result
+(** Parse a whole block from source text. [Error msg] pinpoints the line.
+    The block is validated by {!Block.of_ops} (branch position etc.). *)
+
+val parse_file : string -> (Block.t * load_rates, string) result
+(** [parse_block] on a file's contents; the label is the file's basename. *)
+
+val parse_program :
+  ?name:string -> string -> (Program.t * load_rates, string) result
+(** Parse several blocks from one source. A line of the form
+    [label NAME [* COUNT]:] starts a new block with the given label and
+    execution count (default 1); operations before any label form an
+    implicit first block labelled ["entry"]. Stream ids are numbered across
+    the whole program, and the returned rates use {e program-wide} load
+    indexes: [(block_index * 1000 + op_id, rate)]. *)
+
+val to_string : Block.t -> string
+(** Render a [Normal]-form block in the parseable syntax. Round trip:
+    [parse_block (to_string b)] reproduces [b] (checked by property
+    tests). *)

@@ -1,0 +1,69 @@
+type t = { label : string; ops : Operation.t array }
+
+let of_ops ?(label = "bb") ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  Array.iteri (fun i op -> ops.(i) <- Operation.with_id op i) ops;
+  Array.iteri
+    (fun i op ->
+      if Operation.is_branch op && i <> n - 1 then
+        invalid_arg "Block.of_ops: branch not in final position")
+    ops;
+  { label; ops }
+
+let label t = t.label
+let size t = Array.length t.ops
+
+let op t i =
+  if i < 0 || i >= size t then invalid_arg "Block.op: id out of range";
+  t.ops.(i)
+
+let ops t = Array.copy t.ops
+
+let map t f =
+  let ops =
+    Array.mapi (fun i op -> Operation.with_id (f op) i) t.ops
+  in
+  { t with ops }
+
+let live_ins t =
+  let written = Hashtbl.create 16 and live = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem written r) then Hashtbl.replace live r ())
+        (Operation.reads op);
+      match Operation.writes op with
+      | Some r -> Hashtbl.replace written r ()
+      | None -> ())
+    t.ops;
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) live [])
+
+let defs t =
+  let written = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      match Operation.writes op with
+      | Some r -> Hashtbl.replace written r ()
+      | None -> ())
+    t.ops;
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) written [])
+
+let loads t =
+  Array.to_list t.ops |> List.filter Operation.is_load
+
+let last_writer t ~before r =
+  let rec go i =
+    if i < 0 then None
+    else
+      match Operation.writes t.ops.(i) with
+      | Some r' when r' = r -> Some i
+      | _ -> go (i - 1)
+  in
+  go (min before (size t) - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s:@ %a@]" t.label
+    (Format.pp_print_array ~pp_sep:Format.pp_print_space Operation.pp)
+    t.ops

@@ -1,0 +1,50 @@
+(** Basic blocks: straight-line sequences of operations.
+
+    The paper schedules and value-speculates at basic-block granularity
+    ("the basic blocks were optimized to the highest level of control"), so
+    the block is the unit handed to the dependence-graph builder, the list
+    scheduler, the speculation transform and both execution engines.
+
+    Operation ids equal their position in the block; program order is the
+    original (unscheduled) sequential order and is, by construction, a
+    topological order of the dependence graph. *)
+
+type t
+
+val of_ops : ?label:string -> Operation.t list -> t
+(** [of_ops ops] builds a block, renumbering the operations so that
+    [op i] has [id = i]. Raises [Invalid_argument] if a branch appears
+    anywhere but last, or if an operation reads a register that is neither
+    written earlier in the block nor treated as a live-in. (Live-ins are
+    allowed: any register read before being written.) *)
+
+val label : t -> string
+
+val size : t -> int
+(** Number of operations. *)
+
+val op : t -> int -> Operation.t
+(** [op t i] is the operation with id [i]. *)
+
+val ops : t -> Operation.t array
+(** All operations in program order. The array is fresh; mutating it does
+    not affect the block. *)
+
+val map : t -> (Operation.t -> Operation.t) -> t
+(** [map t f] applies [f] to every operation (ids must be preserved by
+    [f]; they are re-asserted). *)
+
+val live_ins : t -> int list
+(** Registers read before any write in the block, ascending. *)
+
+val defs : t -> int list
+(** Registers written in the block, ascending, without duplicates. *)
+
+val loads : t -> Operation.t list
+(** The load operations in program order. *)
+
+val last_writer : t -> before:int -> int -> int option
+(** [last_writer t ~before r] is the id of the latest operation with id
+    [< before] writing register [r], if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+type kind = Flow | Anti | Output | Mem | Control | Verify
+
+type edge = { src : int; dst : int; kind : kind; delay : int }
+
+type t = {
+  block : Block.t;
+  lat : int array;
+  preds : edge list array;
+  succs : edge list array;
+}
+
+let block t = t.block
+let size t = Block.size t.block
+let latency t i = t.lat.(i)
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let edges t =
+  Array.to_list t.succs |> List.concat
+  |> List.sort (fun a b -> compare (a.src, a.dst, a.kind) (b.src, b.dst, b.kind))
+
+let build ?(extra = []) ~latency block =
+  let n = Block.size block in
+  let ops = Block.ops block in
+  let lat = Array.map latency ops in
+  let preds = Array.make n [] and succs = Array.make n [] in
+  let seen = Hashtbl.create 64 in
+  let add_edge src dst kind delay =
+    assert (src < dst);
+    if not (Hashtbl.mem seen (src, dst, kind)) then begin
+      Hashtbl.replace seen (src, dst, kind) ();
+      let e = { src; dst; kind; delay } in
+      preds.(dst) <- e :: preds.(dst);
+      succs.(src) <- e :: succs.(src)
+    end
+  in
+  let last_writer = Hashtbl.create 32 in
+  let readers_since_write = Hashtbl.create 32 in
+  let last_store = ref None and loads_since_store = ref [] in
+  Array.iteri
+    (fun i op ->
+      (* Register dependences. *)
+      List.iter
+        (fun r ->
+          (match Hashtbl.find_opt last_writer r with
+          | Some w -> add_edge w i Flow lat.(w)
+          | None -> ());
+          let rs =
+            Option.value ~default:[] (Hashtbl.find_opt readers_since_write r)
+          in
+          Hashtbl.replace readers_since_write r (i :: rs))
+        (Operation.reads op);
+      (match Operation.writes op with
+      | Some r ->
+          (match Hashtbl.find_opt last_writer r with
+          | Some w ->
+              add_edge w i Output (max 1 (lat.(w) - lat.(i) + 1))
+          | None -> ());
+          List.iter
+            (fun rd -> if rd <> i then add_edge rd i Anti 0)
+            (Option.value ~default:[]
+               (Hashtbl.find_opt readers_since_write r));
+          Hashtbl.replace last_writer r i;
+          Hashtbl.replace readers_since_write r []
+      | None -> ());
+      (* Conservative memory ordering. *)
+      if Operation.is_load op then begin
+        (match !last_store with
+        | Some s -> add_edge s i Mem lat.(s)
+        | None -> ());
+        loads_since_store := i :: !loads_since_store
+      end;
+      if Operation.is_store op then begin
+        (match !last_store with
+        | Some s -> add_edge s i Mem lat.(s)
+        | None -> ());
+        List.iter (fun l -> add_edge l i Mem 1) !loads_since_store;
+        last_store := Some i;
+        loads_since_store := []
+      end;
+      (* Pin the branch behind every other operation. *)
+      if Operation.is_branch op then
+        for j = 0 to i - 1 do
+          add_edge j i Control 0
+        done)
+    ops;
+  List.iter
+    (fun e ->
+      if e.src >= e.dst || e.src < 0 || e.dst >= n then
+        invalid_arg "Depgraph.build: extra edge must go forward in the block";
+      add_edge e.src e.dst e.kind e.delay)
+    extra;
+  { block; lat; preds; succs }
+
+let earliest t =
+  let n = size t in
+  let est = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun e -> est.(i) <- max est.(i) (est.(e.src) + e.delay))
+      t.preds.(i)
+  done;
+  est
+
+let priority t =
+  let n = size t in
+  let prio = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    prio.(i) <- t.lat.(i);
+    List.iter
+      (fun e -> prio.(i) <- max prio.(i) (e.delay + prio.(e.dst)))
+      t.succs.(i)
+  done;
+  prio
+
+let critical_path_length t =
+  let est = earliest t in
+  let len = ref 0 in
+  for i = 0 to size t - 1 do
+    len := max !len (est.(i) + t.lat.(i))
+  done;
+  !len
+
+let critical_path t =
+  let prio = priority t in
+  let n = size t in
+  if n = 0 then []
+  else begin
+    (* Start from a source with maximal priority, follow edges that realize
+       the priority recurrence. *)
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if prio.(i) > prio.(!start) then start := i
+    done;
+    let rec follow i acc =
+      let acc = i :: acc in
+      let next =
+        List.fold_left
+          (fun best e ->
+            if e.delay + prio.(e.dst) = prio.(i) then
+              match best with
+              | Some b when prio.(b) >= prio.(e.dst) -> best
+              | _ -> Some e.dst
+            else best)
+          None t.succs.(i)
+      in
+      match next with None -> List.rev acc | Some j -> follow j acc
+    in
+    follow !start []
+  end
+
+let transitive_flow next t i =
+  let n = size t in
+  let mark = Array.make n false in
+  let rec go j =
+    List.iter
+      (fun (e : edge) ->
+        if e.kind = Flow then begin
+          let k = if next then e.dst else e.src in
+          if not mark.(k) then begin
+            mark.(k) <- true;
+            go k
+          end
+        end)
+      (if next then t.succs.(j) else t.preds.(j))
+  in
+  go i;
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if mark.(j) then acc := j :: !acc
+  done;
+  !acc
+
+let flow_dependents t i = transitive_flow true t i
+let flow_sources t i = transitive_flow false t i
+
+let pp_kind ppf = function
+  | Flow -> Format.pp_print_string ppf "flow"
+  | Anti -> Format.pp_print_string ppf "anti"
+  | Output -> Format.pp_print_string ppf "out"
+  | Mem -> Format.pp_print_string ppf "mem"
+  | Control -> Format.pp_print_string ppf "ctl"
+  | Verify -> Format.pp_print_string ppf "vfy"
+
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dependences {\n  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iter
+    (fun (op : Operation.t) ->
+      let label =
+        String.concat "\\n"
+          (String.split_on_char '\n' (Format.asprintf "%a" Operation.pp op))
+      in
+      let fill =
+        if List.mem op.id highlight then ", style=filled, fillcolor=lightblue"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" op.id label fill))
+    (Block.ops t.block);
+  List.iter
+    (fun e ->
+      let style =
+        match e.kind with
+        | Flow -> "solid"
+        | Anti | Output -> "dashed"
+        | Mem | Control -> "dotted"
+        | Verify -> "bold"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=%s, label=\"%d\"];\n" e.src
+           e.dst style e.delay))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%d -%a(%d)-> %d@ " e.src pp_kind e.kind e.delay
+        e.dst)
+    (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,76 @@
+(** Bit-level encoding of the extended instruction set — the paper's
+    Figure 4.
+
+    Section 2.1 extends a conventional VLIW operation format with the
+    fields the two engines need:
+
+    - every operation: opcode, destination register, two source registers;
+    - [LdPred]: "besides loading the predicted value into a register, also
+      stores a bit index of the Synchronization register";
+    - {e speculative} form: "an additional field that stores an encoded
+      number that holds a bit index of the Synchronization register";
+    - {e check-prediction} form: "the entry index for the LdPred predicted
+      value as well as an encoded number for the bit indices for the rest
+      of the predicted values whose bits are cleared conditionally" — the
+      conditional-clear set is encoded as a bit {e mask} over the
+      Synchronization register;
+    - VLIW instruction: a header with the operation count and the
+      instruction's wait mask over the Synchronization register ("bit
+      indices ... encoded together as a number and stored with the VLIW
+      instruction").
+
+    The layout (64-bit words; check-prediction operations take two):
+
+    {v
+    operation word (LSB first):
+      bits  0..5   opcode
+      bits  6..13  destination register (0xFF = none)
+      bits 14..21  source register 1    (0xFF = absent)
+      bits 22..29  source register 2    (0xFF = absent)
+      bits 30..31  form tag (0 normal/non-spec carrier, 1 ldpred,
+                   2 speculative, 3 check)
+      bit  32      non-speculative marker (within tag 0)
+      bits 33..38  own Synchronization-register bit (ldpred/speculative)
+                   or the check's predicted-value bit
+      bits 39..46  ldpred: id of the checking operation
+    check extension word (tag 3 only):
+      bits  0..63  conditional-clear mask over Synchronization bits 0..63
+    instruction header:
+      bits  0..3   operation count
+      bits  4..35  wait mask over Synchronization-register bits 0..31
+    v}
+
+    Encoding is total for code produced by the transform at the default and
+    aggressive policies (registers < 255, sync bits < 64, wait masks < 32
+    bits); {!encode_op} raises [Invalid_argument] on anything wider (the
+    region experiments scale budgets beyond the hardware format and are not
+    encoded), and decoding is the exact inverse — property-tested on every
+    transformed workload block. Streams are metadata for the simulator, not
+    architectural state, so they do not survive a round-trip. *)
+
+val encode_op : Operation.t -> int64 list
+(** One word, or two for a check-prediction operation. Raises
+    [Invalid_argument] if a field does not fit the format. *)
+
+val decode_op : id:int -> int64 list -> Operation.t * int64 list
+(** Decode one operation from the head of a word stream, returning the
+    remainder. Inverse of {!encode_op} up to the non-architectural [stream]
+    field. Raises [Invalid_argument] on malformed words. *)
+
+val encode_instruction :
+  wait_mask:Vp_util.Bitset.t -> Operation.t list -> int64 list
+(** Header word followed by each operation's word(s). An empty operation
+    list encodes an explicit nop instruction (header only). Raises
+    [Invalid_argument] if the wait mask exceeds 32 bits or the instruction
+    holds more than 15 operations. *)
+
+val decode_instruction : int64 list -> Vp_util.Bitset.t * Operation.t list
+(** Inverse of {!encode_instruction} (operation ids are positional). *)
+
+val instruction_bytes : Operation.t list -> int
+(** Encoded size in bytes of one instruction (header + operations) —
+    the precise code-size measure the layout and cache experiments use. *)
+
+val block_bytes : schedule_instructions:Operation.t list array -> int
+(** Total encoded bytes of a scheduled block, nop (header-only)
+    instructions included. *)

@@ -1,0 +1,1 @@
+lib/machine/descr.ml: Format List Option Printf Unit_class Vp_ir

@@ -1,0 +1,1 @@
+lib/machine/unit_class.ml: Format Vp_ir

@@ -1,0 +1,1 @@
+lib/machine/unit_class.mli: Format Vp_ir

@@ -1,0 +1,1 @@
+lib/metrics/summary.ml: Array Vp_util

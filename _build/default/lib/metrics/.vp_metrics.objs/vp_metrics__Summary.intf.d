@@ -1,0 +1,1 @@
+lib/metrics/summary.mli: Vp_util

@@ -1,0 +1,100 @@
+type spec_stats = {
+  predictions : int;
+  p_all_correct : float;
+  p_all_incorrect : float;
+  best_cycles : int;
+  worst_cycles : int;
+  expected_cycles : float;
+  expected_stall_cycles : float;
+}
+
+type block_stats = {
+  count : int;
+  original_cycles : int;
+  speculated : spec_stats option;
+}
+
+let expected_block_cycles b =
+  match b.speculated with
+  | Some s -> s.expected_cycles
+  | None -> float_of_int b.original_cycles
+
+let total_time blocks =
+  Array.fold_left
+    (fun acc b -> acc +. (float_of_int b.count *. expected_block_cycles b))
+    0.0 blocks
+
+type time_fractions = { best : float; worst : float }
+
+let table2 blocks =
+  let total = total_time blocks in
+  let best = ref 0.0 and worst = ref 0.0 in
+  Array.iter
+    (fun b ->
+      match b.speculated with
+      | Some s ->
+          let n = float_of_int b.count in
+          best := !best +. (n *. s.p_all_correct *. float_of_int s.best_cycles);
+          worst :=
+            !worst +. (n *. s.p_all_incorrect *. float_of_int s.worst_cycles)
+      | None -> ())
+    blocks;
+  if total = 0.0 then { best = 0.0; worst = 0.0 }
+  else { best = !best /. total; worst = !worst /. total }
+
+type length_ratios = { best : float; worst : float }
+
+let table3 blocks =
+  let orig = ref 0.0 and best = ref 0.0 and worst = ref 0.0 in
+  Array.iter
+    (fun b ->
+      match b.speculated with
+      | Some s ->
+          let n = float_of_int b.count in
+          orig := !orig +. (n *. float_of_int b.original_cycles);
+          best := !best +. (n *. float_of_int s.best_cycles);
+          worst := !worst +. (n *. float_of_int s.worst_cycles)
+      | None -> ())
+    blocks;
+  if !orig = 0.0 then { best = 1.0; worst = 1.0 }
+  else { best = !best /. !orig; worst = !worst /. !orig }
+
+let figure8 blocks =
+  let hist =
+    Vp_util.Histogram.create
+      [
+        { Vp_util.Histogram.label = "degraded"; lo = min_int; hi = -1 };
+        { label = "unchanged"; lo = 0; hi = 0 };
+        { label = "+1..4"; lo = 1; hi = 4 };
+        { label = "+5..8"; lo = 5; hi = 8 };
+        { label = ">+8"; lo = 9; hi = max_int };
+      ]
+  in
+  Array.iter
+    (fun b ->
+      let change =
+        match b.speculated with
+        | Some s -> b.original_cycles - s.best_cycles
+        | None -> 0
+      in
+      Vp_util.Histogram.add hist ~weight:(float_of_int b.count) change)
+    blocks;
+  hist
+
+let speculated_fraction blocks =
+  let all = ref 0 and spec = ref 0 in
+  Array.iter
+    (fun b ->
+      all := !all + b.count;
+      if b.speculated <> None then spec := !spec + b.count)
+    blocks;
+  if !all = 0 then 0.0 else float_of_int !spec /. float_of_int !all
+
+let expected_speedup blocks =
+  let orig =
+    Array.fold_left
+      (fun acc b -> acc +. (float_of_int (b.count * b.original_cycles)))
+      0.0 blocks
+  in
+  let t = total_time blocks in
+  if t = 0.0 then 1.0 else orig /. t

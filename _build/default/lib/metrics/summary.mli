@@ -1,0 +1,60 @@
+(** Aggregation of per-block results into the paper's metrics.
+
+    The experiment pipeline reduces every block to a {!block_stats} record;
+    the functions here weight those records by execution frequency and
+    produce exactly the numbers the paper's tables and figures report:
+
+    - {b Table 2}: the fraction of total execution time spent in executions
+      of speculated blocks where {e all} predictions were correct (best
+      case) / {e all} were incorrect (worst case);
+    - {b Table 3}: the effective schedule length of speculated blocks as a
+      fraction of their original schedule length, in the best and worst
+      cases, execution-time weighted;
+    - {b Figure 8}: the distribution over executed blocks of the change in
+      schedule length due to prediction (all-correct case). *)
+
+type spec_stats = {
+  predictions : int;  (** number of predicted loads *)
+  p_all_correct : float;  (** probability every prediction is correct *)
+  p_all_incorrect : float;  (** probability every prediction is incorrect *)
+  best_cycles : int;  (** effective cycles, all predictions correct *)
+  worst_cycles : int;  (** effective cycles, all predictions incorrect *)
+  expected_cycles : float;  (** cycles averaged over outcome scenarios *)
+  expected_stall_cycles : float;
+      (** VLIW stall cycles averaged over scenarios — the dual-engine
+          scheme's serialized compensation exposure *)
+}
+
+type block_stats = {
+  count : int;  (** dynamic execution count *)
+  original_cycles : int;  (** schedule length without value prediction *)
+  speculated : spec_stats option;  (** [None] if the block was left alone *)
+}
+
+val total_time : block_stats array -> float
+(** Expected total execution time: Σ count × expected cycles (original
+    cycles for unspeculated blocks). *)
+
+type time_fractions = { best : float; worst : float }
+
+val table2 : block_stats array -> time_fractions
+(** Fraction of {!total_time} spent in all-correct (resp. all-incorrect)
+    executions of speculated blocks. *)
+
+type length_ratios = { best : float; worst : float }
+
+val table3 : block_stats array -> length_ratios
+(** Execution-weighted effective-over-original schedule-length ratio of
+    speculated blocks, best and worst case. Both are 1.0 when nothing was
+    speculated. *)
+
+val figure8 : block_stats array -> Vp_util.Histogram.t
+(** Distribution (weighted by execution count, over {e all} executed
+    blocks) of [original_cycles - best_cycles]; unspeculated blocks land in
+    the "unchanged" bucket. *)
+
+val speculated_fraction : block_stats array -> float
+(** Fraction of dynamic block executions that run speculated code. *)
+
+val expected_speedup : block_stats array -> float
+(** Whole-program speedup: (Σ count × original) / {!total_time}. *)

@@ -1,0 +1,1 @@
+lib/predict/fcm.ml: Array Iface Printf

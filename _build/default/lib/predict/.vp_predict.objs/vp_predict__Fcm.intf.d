@@ -1,0 +1,1 @@
+lib/predict/fcm.mli: Iface

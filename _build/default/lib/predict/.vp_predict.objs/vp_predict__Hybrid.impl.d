@@ -1,0 +1,1 @@
+lib/predict/hybrid.ml: Fcm Iface Stride

@@ -1,0 +1,1 @@
+lib/predict/last_value.mli: Iface

@@ -1,0 +1,1 @@
+lib/predict/predictor.ml: Dfcm Fcm Format Hybrid Iface Last_value List Printf Stride

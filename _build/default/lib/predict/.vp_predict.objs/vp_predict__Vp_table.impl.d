@@ -1,0 +1,1 @@
+lib/predict/vp_table.ml: Array Confidence Iface Predictor

@@ -1,0 +1,15 @@
+type t = { max : int; threshold : int; mutable counter : int }
+
+let create ?(bits = 2) ?(threshold = 2) () =
+  if bits < 1 || bits > 16 then invalid_arg "Confidence.create: bits";
+  let max = (1 lsl bits) - 1 in
+  if threshold < 0 || threshold > max then
+    invalid_arg "Confidence.create: threshold out of range";
+  { max; threshold; counter = 0 }
+
+let value t = t.counter
+let confident t = t.counter >= t.threshold
+let record_hit t = if t.counter < t.max then t.counter <- t.counter + 1
+let record_miss t = if t.counter > 0 then t.counter <- t.counter - 1
+let record_miss_reset t = t.counter <- 0
+let reset t = t.counter <- 0

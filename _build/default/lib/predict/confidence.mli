@@ -1,0 +1,31 @@
+(** Saturating-counter confidence estimation.
+
+    Classic n-bit confidence counters attached to value-prediction table
+    entries: increment on a correct prediction, decrement (or reset) on a
+    misprediction, and predict only when the counter is at or above a
+    threshold. The paper gates speculation on {e profiled} rates rather than
+    run-time confidence, but the hardware value predictor in Figure 5 caches
+    "values and prediction confidences at run-time", so the table supports
+    both policies. *)
+
+type t
+
+val create : ?bits:int -> ?threshold:int -> unit -> t
+(** [create ~bits ~threshold ()] — defaults: 2-bit counter, threshold 2.
+    [threshold] must lie in [\[0, 2^bits - 1\]]. *)
+
+val value : t -> int
+
+val confident : t -> bool
+(** Counter at or above the threshold. *)
+
+val record_hit : t -> unit
+(** Saturating increment. *)
+
+val record_miss : t -> unit
+(** Saturating decrement. *)
+
+val record_miss_reset : t -> unit
+(** Harsher policy: reset to 0 on a miss. *)
+
+val reset : t -> unit

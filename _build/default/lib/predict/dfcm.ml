@@ -1,0 +1,31 @@
+type t = {
+  fcm : Fcm.t;  (* first+second level over strides *)
+  mutable last : int option;
+}
+
+let create ?order ?table_bits () =
+  { fcm = Fcm.create ?order ?table_bits (); last = None }
+
+let predict t =
+  match (t.last, Fcm.predict t.fcm) with
+  | Some last, Some stride -> Some (last + stride)
+  | _ -> None
+
+let update t v =
+  (match t.last with
+  | Some last -> Fcm.update t.fcm (v - last)
+  | None -> ());
+  t.last <- Some v
+
+let reset t =
+  Fcm.reset t.fcm;
+  t.last <- None
+
+let as_predictor ?order ?table_bits () =
+  let t = create ?order ?table_bits () in
+  {
+    Iface.name = "dfcm";
+    predict = (fun () -> predict t);
+    update = (fun v -> update t v);
+    reset = (fun () -> reset t);
+  }

@@ -1,0 +1,30 @@
+(** Differential Finite Context Method prediction (Goeman, Vander Zanden &
+    De Bosschere, HPCA 2001).
+
+    Like {!Fcm}, but the two-level table learns {e strides} (differences
+    between consecutive values) instead of raw values: the context is the
+    last [order] strides, the second level maps a context signature to the
+    stride that followed it, and the prediction is [last + stride]. DFCM
+    captures both arithmetic sequences (like {!Stride}) and repeating
+    stride {e patterns} (like {!Fcm} on values), with far less second-level
+    aliasing than value-based FCM on wide value ranges.
+
+    This post-dates the paper and is included as an extension: the
+    profiling layer still uses the paper's stride+FCM pair by default, but
+    [Predictor.Dfcm] can be swapped in to study how a stronger predictor
+    shifts the tables (see the ablation experiments). *)
+
+type t
+
+val create : ?order:int -> ?table_bits:int -> unit -> t
+(** Defaults: order 2, 16-bit second-level table. Same bounds as
+    {!Fcm.create}. *)
+
+val predict : t -> int option
+(** [None] until the stride context is full or on a second-level miss. *)
+
+val update : t -> int -> unit
+
+val reset : t -> unit
+
+val as_predictor : ?order:int -> ?table_bits:int -> unit -> Iface.t

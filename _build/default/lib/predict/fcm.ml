@@ -1,0 +1,62 @@
+type t = {
+  order : int;
+  mask : int;
+  history : int array;  (* circular, most recent at [(fill-1) mod order] *)
+  mutable fill : int;  (* number of values observed, saturates at order *)
+  mutable head : int;  (* next write position *)
+  table : int option array;
+}
+
+let create ?(order = 2) ?(table_bits = 16) () =
+  if order < 1 then invalid_arg "Fcm.create: order < 1";
+  if table_bits < 4 || table_bits > 24 then
+    invalid_arg "Fcm.create: table_bits out of [4, 24]";
+  {
+    order;
+    mask = (1 lsl table_bits) - 1;
+    history = Array.make order 0;
+    fill = 0;
+    head = 0;
+    table = Array.make (1 lsl table_bits) None;
+  }
+
+let mix h v =
+  let h = h lxor (v * 0x9E3779B1) in
+  let h = (h lxor (h lsr 15)) * 0x85EBCA77 in
+  h lxor (h lsr 13)
+
+(* Signature of the current context, oldest value first so that rotations of
+   the same multiset hash differently. *)
+let signature t =
+  let h = ref 0x12345 in
+  for i = 0 to t.order - 1 do
+    let pos = (t.head + i) mod t.order in
+    h := mix !h t.history.(pos)
+  done;
+  !h land t.mask
+
+let context_full t = t.fill >= t.order
+
+let predict t = if context_full t then t.table.(signature t) else None
+
+let update t v =
+  if context_full t then t.table.(signature t) <- Some v;
+  t.history.(t.head) <- v;
+  t.head <- (t.head + 1) mod t.order;
+  if t.fill < t.order then t.fill <- t.fill + 1
+
+let reset t =
+  t.fill <- 0;
+  t.head <- 0;
+  Array.fill t.table 0 (Array.length t.table) None
+
+let order t = t.order
+
+let as_predictor ?order ?table_bits () =
+  let t = create ?order ?table_bits () in
+  {
+    Iface.name = Printf.sprintf "fcm-%d" t.order;
+    predict = (fun () -> predict t);
+    update = (fun v -> update t v);
+    reset = (fun () -> reset t);
+  }

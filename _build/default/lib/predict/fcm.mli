@@ -1,0 +1,25 @@
+(** Finite Context Method prediction (Sazeides & Smith, 1997).
+
+    A two-level scheme: the first level keeps the last [order] values (the
+    context); the second level is a hash table mapping a context signature
+    to the value that followed that context last time. FCM captures
+    repeating non-arithmetic sequences (e.g. pointer chains walked in the
+    same order every iteration) that stride prediction cannot. This is the
+    "FCM prediction" profile of the paper's Section 3. *)
+
+type t
+
+val create : ?order:int -> ?table_bits:int -> unit -> t
+(** [create ~order ~table_bits ()] — defaults: order 2, 16-bit (65536-entry)
+    second-level table. [order] must be ≥ 1, [table_bits] in [\[4, 24\]]. *)
+
+val predict : t -> int option
+(** [None] until the context is full or on a second-level miss. *)
+
+val update : t -> int -> unit
+
+val reset : t -> unit
+
+val order : t -> int
+
+val as_predictor : ?order:int -> ?table_bits:int -> unit -> Iface.t

@@ -1,0 +1,58 @@
+type t = {
+  stride : Stride.t;
+  fcm : Fcm.t;
+  mutable seen : int;
+  mutable stride_hits : int;
+  mutable fcm_hits : int;
+}
+
+let create ?order ?table_bits () =
+  {
+    stride = Stride.create ();
+    fcm = Fcm.create ?order ?table_bits ();
+    seen = 0;
+    stride_hits = 0;
+    fcm_hits = 0;
+  }
+
+let predict t =
+  let stride_better = t.stride_hits >= t.fcm_hits in
+  match
+    (if stride_better then Stride.predict t.stride else Fcm.predict t.fcm)
+  with
+  | Some v -> Some v
+  | None ->
+      if stride_better then Fcm.predict t.fcm else Stride.predict t.stride
+
+let update t v =
+  (match Stride.predict t.stride with
+  | Some p when p = v -> t.stride_hits <- t.stride_hits + 1
+  | _ -> ());
+  (match Fcm.predict t.fcm with
+  | Some p when p = v -> t.fcm_hits <- t.fcm_hits + 1
+  | _ -> ());
+  t.seen <- t.seen + 1;
+  Stride.update t.stride v;
+  Fcm.update t.fcm v
+
+let reset t =
+  Stride.reset t.stride;
+  Fcm.reset t.fcm;
+  t.seen <- 0;
+  t.stride_hits <- 0;
+  t.fcm_hits <- 0
+
+let component_accuracies t =
+  if t.seen = 0 then (0.0, 0.0)
+  else
+    let n = float_of_int t.seen in
+    (float_of_int t.stride_hits /. n, float_of_int t.fcm_hits /. n)
+
+let as_predictor ?order ?table_bits () =
+  let t = create ?order ?table_bits () in
+  {
+    Iface.name = "hybrid";
+    predict = (fun () -> predict t);
+    update = (fun v -> update t v);
+    reset = (fun () -> reset t);
+  }

@@ -1,0 +1,23 @@
+(** Hybrid stride/FCM predictor.
+
+    Runs a {!Stride} and an {!Fcm} instance side by side, counts each
+    component's running accuracy, and predicts with the component that has
+    been more accurate so far (stride wins ties — it warms up faster). Both
+    components always train on the actual value. This mirrors the paper's
+    profiling rule: "the final value prediction rate for each operation ...
+    was chosen to be the higher value out of these two prediction rates". *)
+
+type t
+
+val create : ?order:int -> ?table_bits:int -> unit -> t
+
+val predict : t -> int option
+
+val update : t -> int -> unit
+
+val reset : t -> unit
+
+val component_accuracies : t -> float * float
+(** Running (stride, fcm) accuracies over the updates seen so far. *)
+
+val as_predictor : ?order:int -> ?table_bits:int -> unit -> Iface.t

@@ -1,0 +1,11 @@
+(** The packaged-predictor record. Lives in its own module so that the
+    concrete predictors ({!Last_value}, {!Stride}, {!Fcm}, {!Hybrid}) and
+    the umbrella {!Predictor} module can all mention it without a
+    dependency cycle. Clients should use it as [Predictor.t]. *)
+
+type t = {
+  name : string;
+  predict : unit -> int option;
+  update : int -> unit;
+  reset : unit -> unit;
+}

@@ -1,0 +1,15 @@
+type t = { mutable last : int option }
+
+let create () = { last = None }
+let predict t = t.last
+let update t v = t.last <- Some v
+let reset t = t.last <- None
+
+let as_predictor () =
+  let t = create () in
+  {
+    Iface.name = "last-value";
+    predict = (fun () -> predict t);
+    update = (fun v -> update t v);
+    reset = (fun () -> reset t);
+  }

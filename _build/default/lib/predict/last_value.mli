@@ -1,0 +1,18 @@
+(** Last-value prediction (Lipasti & Shen): predict that an operation
+    produces the same value as its previous dynamic instance. The simplest
+    of the classic predictors; included as a baseline and as the value
+    fallback inside the stride predictor. *)
+
+type t
+
+val create : unit -> t
+
+val predict : t -> int option
+(** [None] until the first value has been observed. *)
+
+val update : t -> int -> unit
+
+val reset : t -> unit
+
+val as_predictor : unit -> Iface.t
+(** Fresh instance packaged behind the common interface. *)

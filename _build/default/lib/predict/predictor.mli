@@ -1,0 +1,47 @@
+(** Common interface to value predictors.
+
+    A predictor instance tracks one static operation (one "table entry" in
+    hardware terms, one profiled load in compiler terms). Before each
+    dynamic execution the client asks for a prediction, then reports the
+    actual value; the predictor updates its internal state.
+
+    The paper profiles every candidate load with {e stride} and {e FCM}
+    prediction and keeps the higher of the two rates (Section 3); those two
+    algorithms, the baseline last-value predictor and the max-of-both hybrid
+    live in sibling modules and are reachable uniformly through {!kind}. *)
+
+type t = Iface.t = {
+  name : string;
+  predict : unit -> int option;
+      (** [None] when the predictor has no basis for a prediction yet (cold
+          entry) — counted as a misprediction by {!accuracy}, matching
+          profile-rate semantics. *)
+  update : int -> unit;  (** Observe the actual value. *)
+  reset : unit -> unit;  (** Forget all history. *)
+}
+
+(** Predictor families selectable from configurations. *)
+type kind =
+  | Last_value
+  | Stride  (** 2-delta stride (stride must repeat before being used). *)
+  | Fcm of { order : int; table_bits : int }
+      (** Order-[order] finite context method with a [2^table_bits]-entry
+          second-level table. *)
+  | Dfcm of { order : int; table_bits : int }
+      (** Differential FCM — FCM over strides (an extension post-dating the
+          paper; see {!Dfcm}). *)
+  | Hybrid_stride_fcm of { order : int; table_bits : int }
+      (** Runs stride and FCM side by side and predicts with whichever has
+          the higher running accuracy, as in the paper's profiling step. *)
+
+val instantiate : kind -> t
+
+val kind_name : kind -> string
+
+val accuracy : t -> int list -> float
+(** [accuracy p values] resets [p], then plays the value sequence through
+    predict/update pairs and returns the fraction of correct predictions
+    (0 on the empty list). This is the paper's per-operation
+    "value prediction rate". *)
+
+val pp_kind : Format.formatter -> kind -> unit

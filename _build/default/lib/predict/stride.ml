@@ -1,0 +1,39 @@
+type t = {
+  mutable last : int option;
+  mutable last_delta : int option;
+  mutable confirmed : int option;
+}
+
+let create () = { last = None; last_delta = None; confirmed = None }
+
+let predict t =
+  match t.last with
+  | None -> None
+  | Some last -> Some (last + Option.value ~default:0 t.confirmed)
+
+let update t v =
+  (match t.last with
+  | Some last ->
+      let delta = v - last in
+      (match t.last_delta with
+      | Some d when d = delta -> t.confirmed <- Some delta
+      | _ -> ());
+      t.last_delta <- Some delta
+  | None -> ());
+  t.last <- Some v
+
+let reset t =
+  t.last <- None;
+  t.last_delta <- None;
+  t.confirmed <- None
+
+let confirmed_stride t = t.confirmed
+
+let as_predictor () =
+  let t = create () in
+  {
+    Iface.name = "stride";
+    predict = (fun () -> predict t);
+    update = (fun v -> update t v);
+    reset = (fun () -> reset t);
+  }

@@ -1,0 +1,27 @@
+(** Two-delta stride prediction (Eickemeyer & Vassiliadis; Gabbay &
+    Mendelson).
+
+    The predictor tracks the last value and two strides: the most recent
+    delta and the {e confirmed} stride. The confirmed stride is replaced
+    only when the same delta is observed twice in a row, which keeps one-off
+    jumps (e.g. a pointer rewind at the end of a row) from poisoning the
+    stride. Predicting [last + confirmed_stride] covers both constant
+    sequences (stride 0) and arithmetic sequences. This is the "stride"
+    profile of the paper's Section 3. *)
+
+type t
+
+val create : unit -> t
+
+val predict : t -> int option
+(** [None] until at least one value has been observed; after one value the
+    prediction is that value (stride defaults to 0 until confirmed). *)
+
+val update : t -> int -> unit
+
+val reset : t -> unit
+
+val confirmed_stride : t -> int option
+(** The currently confirmed stride, for inspection in tests. *)
+
+val as_predictor : unit -> Iface.t

@@ -1,0 +1,81 @@
+type entry = {
+  mutable owner : int option;  (* PC tag *)
+  mutable predictor : Iface.t;
+  confidence : Confidence.t;
+}
+
+type t = {
+  kind : Predictor.kind;
+  use_confidence : bool;
+  tagged : bool;
+  slots : entry array;
+  mask : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(entries = 1024)
+    ?(kind = Predictor.Hybrid_stride_fcm { order = 2; table_bits = 12 })
+    ?(use_confidence = false) ?(tagged = true) () =
+  if not (is_power_of_two entries) then
+    invalid_arg "Vp_table.create: entries must be a positive power of two";
+  let fresh_entry _ =
+    {
+      owner = None;
+      predictor = Predictor.instantiate kind;
+      confidence = Confidence.create ();
+    }
+  in
+  {
+    kind;
+    use_confidence;
+    tagged;
+    slots = Array.init entries fresh_entry;
+    mask = entries - 1;
+  }
+
+let index t pc =
+  let h = pc * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land t.mask
+
+let slot_for t pc =
+  let e = t.slots.(index t pc) in
+  (match e.owner with
+  | Some tag when tag = pc || not t.tagged -> ()
+  | Some _ ->
+      (* Tagged aliasing eviction: the entry is claimed by the new PC. *)
+      e.owner <- Some pc;
+      e.predictor.Iface.reset ();
+      Confidence.reset e.confidence
+  | None -> e.owner <- Some pc);
+  e
+
+let predict t ~pc =
+  let e = slot_for t pc in
+  match e.predictor.Iface.predict () with
+  | Some v when (not t.use_confidence) || Confidence.confident e.confidence ->
+      Some v
+  | _ -> None
+
+let train t ~pc ~actual =
+  let e = slot_for t pc in
+  (match e.predictor.Iface.predict () with
+  | Some v when v = actual -> Confidence.record_hit e.confidence
+  | Some _ -> Confidence.record_miss e.confidence
+  | None -> ());
+  e.predictor.Iface.update actual
+
+let predict_and_train t ~pc ~actual =
+  let prediction = predict t ~pc in
+  train t ~pc ~actual;
+  match prediction with Some v -> v = actual | None -> false
+
+let entries t = Array.length t.slots
+
+let utilization t =
+  let used =
+    Array.fold_left
+      (fun acc e -> if e.owner <> None then acc + 1 else acc)
+      0 t.slots
+  in
+  float_of_int used /. float_of_int (entries t)

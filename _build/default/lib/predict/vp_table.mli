@@ -1,0 +1,43 @@
+(** The hardware value-prediction table.
+
+    The Value Predictor box of the paper's Figure 5: a finite, direct-mapped
+    table indexed by a hash of the operation's address (PC). Each entry owns
+    a predictor instance of a configurable {!Predictor.kind} and a
+    confidence counter. Distinct PCs can alias onto the same entry, exactly
+    as in hardware; the entry is re-tagged (predictor reset) when its owner
+    changes, modelling a tagged table.
+
+    [LdPred] reads the table; the corresponding check-prediction operation
+    reports the actual value back, training the entry. *)
+
+type t
+
+val create :
+  ?entries:int ->
+  ?kind:Predictor.kind ->
+  ?use_confidence:bool ->
+  ?tagged:bool ->
+  unit ->
+  t
+(** Defaults: 1024 entries, hybrid stride/FCM predictor, confidence gating
+    off (profile-driven speculation does not need it), tagged entries.
+    [entries] must be a positive power of two. An {e untagged} table
+    ([~tagged:false]) lets aliasing PCs share (and corrupt) one another's
+    history — the cheaper classic design, measurable in the predictor
+    examples. *)
+
+val predict : t -> pc:int -> int option
+(** Prediction for the operation at [pc], or [None] on a cold/unconfident
+    entry or a tag mismatch after aliasing. *)
+
+val train : t -> pc:int -> actual:int -> unit
+(** Report the actual value; updates predictor state and confidence. *)
+
+val predict_and_train : t -> pc:int -> actual:int -> bool
+(** One dynamic execution: [true] iff the prediction was made and correct.
+    Convenience wrapper used by profiling and tests. *)
+
+val entries : t -> int
+
+val utilization : t -> float
+(** Fraction of entries that have been claimed by some PC. *)

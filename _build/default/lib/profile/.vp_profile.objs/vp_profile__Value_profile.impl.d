@@ -1,0 +1,1 @@
+lib/profile/value_profile.ml: Array Float Format List Option Vp_ir Vp_predict Vp_util Vp_workload

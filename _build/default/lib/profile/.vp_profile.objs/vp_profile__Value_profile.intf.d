@@ -1,0 +1,1 @@
+lib/profile/value_profile.mli: Format Vp_ir Vp_predict Vp_workload

@@ -1,0 +1,130 @@
+type load_profile = {
+  op_id : int;
+  stream : int;
+  samples : int;
+  stride_rate : float;
+  fcm_rate : float;
+  rate : float;
+}
+
+type block_profile = {
+  block_index : int;
+  executions : int;
+  loads : load_profile list;
+}
+
+type t = { blocks : block_profile array }
+
+let profile_load ~predictors ~max_samples workload ~executions
+    (op : Vp_ir.Operation.t) =
+  let stream =
+    match op.stream with
+    | Some s -> s
+    | None -> invalid_arg "Value_profile: load without a stream"
+  in
+  let samples = max 1 (min executions max_samples) in
+  let vs =
+    Vp_workload.Value_stream.take
+      (Vp_workload.Workload.stream workload stream)
+      samples
+  in
+  let rates =
+    List.map
+      (fun kind ->
+        Vp_predict.Predictor.accuracy (Vp_predict.Predictor.instantiate kind) vs)
+      predictors
+  in
+  let rate_of kind =
+    let rec find ks rs =
+      match (ks, rs) with
+      | k :: _, r :: _ when k = kind -> r
+      | _ :: ks, _ :: rs -> find ks rs
+      | _ -> 0.0
+    in
+    find predictors rates
+  in
+  {
+    op_id = op.id;
+    stream;
+    samples;
+    stride_rate = rate_of Vp_predict.Predictor.Stride;
+    fcm_rate =
+      (match
+         List.find_opt
+           (function Vp_predict.Predictor.Fcm _ -> true | _ -> false)
+           predictors
+       with
+      | Some k -> rate_of k
+      | None -> 0.0);
+    rate = List.fold_left Float.max 0.0 rates;
+  }
+
+let paper_predictors ~fcm_order ~fcm_table_bits =
+  [
+    Vp_predict.Predictor.Stride;
+    Vp_predict.Predictor.Fcm { order = fcm_order; table_bits = fcm_table_bits };
+  ]
+
+let profile ?program ?predictors ?(max_samples = 2000) ?(fcm_order = 2)
+    ?(fcm_table_bits = 12) workload =
+  let program =
+    Option.value ~default:(Vp_workload.Workload.program workload) program
+  in
+  let predictors =
+    Option.value
+      ~default:(paper_predictors ~fcm_order ~fcm_table_bits)
+      predictors
+  in
+  let blocks =
+    Array.mapi
+      (fun i (wb : Vp_ir.Program.weighted_block) ->
+        let loads =
+          List.map
+            (profile_load ~predictors ~max_samples workload
+               ~executions:wb.count)
+            (Vp_ir.Block.loads wb.block)
+        in
+        { block_index = i; executions = wb.count; loads })
+      (Vp_ir.Program.blocks program)
+  in
+  { blocks }
+
+let blocks t = Array.copy t.blocks
+
+let block t i =
+  if i < 0 || i >= Array.length t.blocks then
+    invalid_arg "Value_profile.block: out of range";
+  t.blocks.(i)
+
+let rate t ~block:i ~op =
+  if i < 0 || i >= Array.length t.blocks then None
+  else
+    List.find_map
+      (fun lp -> if lp.op_id = op then Some lp.rate else None)
+      t.blocks.(i).loads
+
+let mean_rate t =
+  let acc = Vp_util.Stats.Acc.create () in
+  Array.iter
+    (fun bp ->
+      List.iter
+        (fun lp ->
+          Vp_util.Stats.Acc.add_weighted acc lp.rate
+            (float_of_int bp.executions))
+        bp.loads)
+    t.blocks;
+  Vp_util.Stats.Acc.mean acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun bp ->
+      List.iter
+        (fun lp ->
+          Format.fprintf ppf
+            "block %d op %d (stream %d): stride %.3f fcm %.3f -> %.3f@ "
+            bp.block_index lp.op_id lp.stream lp.stride_rate lp.fcm_rate
+            lp.rate)
+        bp.loads)
+    t.blocks;
+  Format.fprintf ppf "@]"

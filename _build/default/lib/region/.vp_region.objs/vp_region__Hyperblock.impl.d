@@ -1,0 +1,1 @@
+lib/region/hyperblock.ml: Array Float Fun List Option Vp_ir Vp_workload

@@ -1,0 +1,1 @@
+lib/region/hyperblock.mli: Vp_ir Vp_workload

@@ -1,0 +1,1 @@
+lib/region/superblock.ml: Array Float Fun List Printf Vp_ir Vp_util Vp_workload

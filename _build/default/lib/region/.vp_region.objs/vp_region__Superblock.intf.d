@@ -1,0 +1,1 @@
+lib/region/superblock.mli: Vp_ir Vp_workload

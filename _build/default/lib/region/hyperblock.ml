@@ -1,0 +1,104 @@
+type params = { min_taken : float; max_cold_size : int }
+
+let default_params = { min_taken = 0.05; max_cold_size = 24 }
+
+(* The registers a block defines or reads above the live-in range, for the
+   private renaming of absorbed bodies. *)
+let high_registers block =
+  Array.fold_left
+    (fun acc (op : Vp_ir.Operation.t) ->
+      List.fold_left max
+        (max acc (Option.value ~default:0 op.dst))
+        (Vp_ir.Operation.reads op))
+    0
+    (Vp_ir.Block.ops block)
+
+let ends_in_branch block =
+  let n = Vp_ir.Block.size block in
+  n > 0 && Vp_ir.Operation.is_branch (Vp_ir.Block.op block (n - 1))
+
+(* The absorbed body: the side block's operations minus a trailing branch,
+   registers above the live-in range shifted by [offset], everything
+   guarded on [(predicate, true)]. *)
+let absorb ~offset ~predicate block =
+  let shift r = if r >= Vp_workload.Block_gen.num_live_ins then r + offset else r in
+  Array.to_list (Vp_ir.Block.ops block)
+  |> List.filter (fun o -> not (Vp_ir.Operation.is_branch o))
+  |> List.map (fun (op : Vp_ir.Operation.t) ->
+         {
+           op with
+           dst = Option.map shift op.dst;
+           srcs = List.map shift op.srcs;
+           guard = Some (predicate, true);
+         })
+
+let form workload cfg params =
+  let program = Vp_workload.Workload.program workload in
+  let n = Vp_ir.Program.num_blocks program in
+  let consumed = Array.make n 0 in
+  let formed = ref 0 in
+  let convert i (wb : Vp_ir.Program.weighted_block) =
+    if not (ends_in_branch wb.block) then None
+    else
+      match Vp_workload.Cfg.successors cfg i with
+      | [ _fall_through; taken ] when taken.probability >= params.min_taken
+        -> (
+          let side = (Vp_ir.Program.nth program taken.dst).block in
+          let side_size =
+            Vp_ir.Block.size side
+            - if ends_in_branch side then 1 else 0
+          in
+          if taken.dst = i || side_size > params.max_cold_size then None
+          else
+            (* the converted block: body minus branch, then the guarded
+               side body; the branch's predicate is its only source *)
+            let body =
+              Array.to_list (Vp_ir.Block.ops wb.block)
+              |> List.filter (fun o -> not (Vp_ir.Operation.is_branch o))
+            in
+            let predicate =
+              match
+                (Vp_ir.Block.op wb.block (Vp_ir.Block.size wb.block - 1)).srcs
+              with
+              | [ p ] -> p
+              | _ -> assert false (* branches have exactly one source *)
+            in
+            let offset =
+              16 + max (high_registers wb.block) (high_registers side)
+            in
+            let absorbed = absorb ~offset ~predicate side in
+            match
+              Vp_ir.Block.of_ops
+                ~label:(Vp_ir.Block.label wb.block ^ "+hb")
+                (body @ absorbed)
+            with
+            | hyper ->
+                incr formed;
+                consumed.(taken.dst) <-
+                  consumed.(taken.dst)
+                  + int_of_float
+                      (Float.round
+                         (float_of_int wb.count *. taken.probability));
+                Some { Vp_ir.Program.block = hyper; count = wb.count }
+            | exception Invalid_argument _ -> None)
+      | _ -> None
+  in
+  let converted =
+    Array.mapi
+      (fun i wb -> match convert i wb with Some h -> Some h | None -> None)
+      (Vp_ir.Program.blocks program)
+  in
+  let blocks =
+    Array.to_list
+      (Array.mapi
+         (fun i (wb : Vp_ir.Program.weighted_block) ->
+           match converted.(i) with
+           | Some hyper -> Some hyper
+           | None ->
+               let count = max 0 (wb.count - consumed.(i)) in
+               if count = 0 then None else Some { wb with count })
+         (Vp_ir.Program.blocks program))
+    |> List.filter_map Fun.id
+  in
+  ( Vp_ir.Program.create ~name:(Vp_ir.Program.name program ^ "+hb") blocks,
+    !formed )

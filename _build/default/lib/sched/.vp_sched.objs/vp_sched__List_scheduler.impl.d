@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Hashtbl List Option Schedule Vp_ir Vp_machine

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Schedule Vp_ir Vp_machine

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Format List Printf Vp_ir Vp_machine

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Vp_ir Vp_machine

@@ -1,0 +1,74 @@
+let schedule descr graph =
+  let n = Vp_ir.Depgraph.size graph in
+  let block = Vp_ir.Depgraph.block graph in
+  let prio = Vp_ir.Depgraph.priority graph in
+  let issue = Array.make n (-1) in
+  let remaining = ref n in
+  let npreds = Array.make n 0 in
+  let ready_time = Array.make n 0 in
+  for i = 0 to n - 1 do
+    npreds.(i) <- List.length (Vp_ir.Depgraph.preds graph i)
+  done;
+  let cycle = ref 0 in
+  while !remaining > 0 do
+    (* Ready operations, best priority first, id as tie-break. *)
+    let ready = ref [] in
+    for i = n - 1 downto 0 do
+      if issue.(i) < 0 && npreds.(i) = 0 && ready_time.(i) <= !cycle then
+        ready := i :: !ready
+    done;
+    let ready =
+      List.sort
+        (fun a b ->
+          match compare prio.(b) prio.(a) with 0 -> compare a b | c -> c)
+        !ready
+    in
+    let total = ref 0 in
+    let per_class = Hashtbl.create 4 in
+    let class_count c =
+      Option.value ~default:0 (Hashtbl.find_opt per_class c)
+    in
+    List.iter
+      (fun i ->
+        let op = Vp_ir.Block.op block i in
+        if Vp_machine.Descr.fits descr ~total:!total ~per_class:class_count op
+        then begin
+          issue.(i) <- !cycle;
+          incr total;
+          let c = Vp_machine.Unit_class.of_opcode op.opcode in
+          Hashtbl.replace per_class c (class_count c + 1);
+          decr remaining;
+          List.iter
+            (fun (e : Vp_ir.Depgraph.edge) ->
+              npreds.(e.dst) <- npreds.(e.dst) - 1;
+              ready_time.(e.dst) <- max ready_time.(e.dst) (!cycle + e.delay))
+            (Vp_ir.Depgraph.succs graph i)
+        end)
+      ready;
+    incr cycle
+  done;
+  Schedule.make descr graph ~issue
+
+let schedule_block descr block =
+  let graph =
+    Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency descr) block
+  in
+  schedule descr graph
+
+let sequential_length descr block =
+  let graph =
+    Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency descr) block
+  in
+  let n = Vp_ir.Depgraph.size graph in
+  let issue = Array.make n 0 in
+  let len = ref 0 in
+  for i = 0 to n - 1 do
+    let earliest = if i = 0 then 0 else issue.(i - 1) + 1 in
+    issue.(i) <- earliest;
+    List.iter
+      (fun (e : Vp_ir.Depgraph.edge) ->
+        issue.(i) <- max issue.(i) (issue.(e.src) + e.delay))
+      (Vp_ir.Depgraph.preds graph i);
+    len := max !len (issue.(i) + Vp_ir.Depgraph.latency graph i)
+  done;
+  !len

@@ -1,0 +1,26 @@
+(** Cycle-driven critical-path list scheduling.
+
+    The classic algorithm the paper assumes ("a conventional list scheduler
+    was used to schedule the code"): operations become {e ready} once all
+    their dependence predecessors have issued and the edge delays have
+    elapsed; each cycle, ready operations are packed into the current VLIW
+    instruction in decreasing priority order (priority = longest
+    delay-weighted path to a sink), subject to the machine's issue width and
+    per-class unit counts; ties break towards lower operation id, keeping
+    the result deterministic. *)
+
+val schedule :
+  Vp_machine.Descr.t -> Vp_ir.Depgraph.t -> Schedule.t
+(** Schedule a dependence graph. Total: every operation receives an issue
+    cycle; the result always passes {!Schedule.validate}. *)
+
+val schedule_block :
+  Vp_machine.Descr.t -> Vp_ir.Block.t -> Schedule.t
+(** Convenience: build the graph with the machine's latencies, then
+    {!schedule}. *)
+
+val sequential_length : Vp_machine.Descr.t -> Vp_ir.Block.t -> int
+(** Length of the fully sequential (one operation per cycle, latencies
+    respected) execution — the degenerate 1-wide schedule, used as an upper
+    bound in tests and for compensation-block costs in the static-recovery
+    baseline. *)

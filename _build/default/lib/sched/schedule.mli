@@ -1,0 +1,52 @@
+(** VLIW schedules: the output of list scheduling.
+
+    A schedule assigns every operation of a block an issue cycle such that
+    all dependence delays and per-cycle resource constraints of the machine
+    hold. Cycle 0 is the block's first instruction; the {e schedule length}
+    is the cycle in which the last result becomes available
+    (max over operations of issue + latency), i.e. the number of cycles the
+    block occupies on an ideal (stall-free) machine. *)
+
+type t
+
+val make : Vp_machine.Descr.t -> Vp_ir.Depgraph.t -> issue:int array -> t
+(** [make descr graph ~issue] packages issue cycles computed by a scheduler.
+    Raises [Invalid_argument] if the array size differs from the block size
+    or contains a negative cycle. Validity against dependences/resources is
+    checked separately by {!validate} (schedulers are trusted; tests call
+    {!validate}). *)
+
+val descr : t -> Vp_machine.Descr.t
+
+val graph : t -> Vp_ir.Depgraph.t
+
+val block : t -> Vp_ir.Block.t
+
+val issue_cycle : t -> int -> int
+(** Issue cycle of operation [id]. *)
+
+val completion_cycle : t -> int -> int
+(** Issue cycle + latency of operation [id]. *)
+
+val length : t -> int
+(** Schedule length in cycles (0 for an empty block). *)
+
+val num_instructions : t -> int
+(** Number of VLIW instruction slots occupied, i.e. [length] counted in
+    fetchable instructions including interior empty (nop) cycles up to the
+    last issue cycle: [last issue cycle + 1], or 0 for an empty block. Used
+    for code-size and instruction-cache accounting. *)
+
+val at_cycle : t -> int -> Vp_ir.Operation.t list
+(** Operations issued in a given cycle, in increasing id order. *)
+
+val instructions : t -> Vp_ir.Operation.t list array
+(** Index [c] holds the operations issued in cycle [c]; length
+    [num_instructions]. Fresh array. *)
+
+val validate : t -> (unit, string) result
+(** Check every dependence edge delay and every per-cycle resource bound;
+    [Error msg] pinpoints the first violation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Cycle-by-cycle rendering in the style of the paper's figures. *)

@@ -1,0 +1,29 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  cap : int;
+  mutable high_water : int;
+}
+
+let create ?(capacity = max_int) () =
+  assert (capacity > 0);
+  { queue = Queue.create (); cap = capacity; high_water = 0 }
+
+let length t = Queue.length t.queue
+let capacity t = t.cap
+let is_empty t = Queue.is_empty t.queue
+let is_full t = length t >= t.cap
+
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.push x t.queue;
+    if length t > t.high_water then t.high_water <- length t;
+    true
+  end
+
+let peek t = Queue.peek_opt t.queue
+let pop t = Queue.take_opt t.queue
+let iter f t = Queue.iter f t.queue
+let to_list t = List.of_seq (Queue.to_seq t.queue)
+let high_water_mark t = t.high_water
+let clear t = Queue.clear t.queue

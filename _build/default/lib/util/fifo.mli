@@ -1,0 +1,42 @@
+(** Bounded First-In-First-Out queues.
+
+    Models the Compensation Code Buffer (CCB) of the Compensation Code
+    Engine: speculated operations are inserted in program order as the VLIW
+    Engine issues them, and retired strictly in order (executed or flushed)
+    from the head. A bounded capacity lets experiments study CCB sizing; the
+    default capacity is effectively unbounded. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ~capacity ()] makes an empty queue holding at most [capacity]
+    elements (default: [max_int]). *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x] at the tail; returns [false] (and does nothing)
+    if the queue is full. *)
+
+val peek : 'a t -> 'a option
+(** Head element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the head element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate from head to tail. *)
+
+val to_list : 'a t -> 'a list
+(** Elements from head to tail. *)
+
+val high_water_mark : 'a t -> int
+(** Maximum length ever reached — used to report required CCB sizes. *)
+
+val clear : 'a t -> unit

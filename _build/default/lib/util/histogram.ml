@@ -1,0 +1,55 @@
+type bucket = { label : string; lo : int; hi : int }
+
+type t = {
+  buckets : bucket array;
+  weights : float array;
+  mutable other : float;
+}
+
+let create buckets =
+  let buckets = Array.of_list buckets in
+  { buckets; weights = Array.make (Array.length buckets) 0.0; other = 0.0 }
+
+let schedule_change_buckets =
+  create
+    [
+      { label = "degraded"; lo = min_int; hi = -1 };
+      { label = "unchanged"; lo = 0; hi = 0 };
+      { label = "+1..4"; lo = 1; hi = 4 };
+      { label = "+5..8"; lo = 5; hi = 8 };
+      { label = ">+8"; lo = 9; hi = max_int };
+    ]
+
+let add t ?(weight = 1.0) v =
+  let n = Array.length t.buckets in
+  let rec go i =
+    if i >= n then t.other <- t.other +. weight
+    else
+      let b = t.buckets.(i) in
+      if v >= b.lo && v <= b.hi then t.weights.(i) <- t.weights.(i) +. weight
+      else go (i + 1)
+  in
+  go 0
+
+let total t = Array.fold_left ( +. ) t.other t.weights
+
+let counts t =
+  let named =
+    Array.to_list (Array.mapi (fun i b -> (b.label, t.weights.(i))) t.buckets)
+  in
+  if t.other > 0.0 then named @ [ ("other", t.other) ] else named
+
+let fractions t =
+  let tot = total t in
+  List.map (fun (l, w) -> (l, if tot = 0.0 then 0.0 else w /. tot)) (counts t)
+
+let pp ppf t =
+  let fracs = fractions t in
+  let width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 fracs
+  in
+  List.iter
+    (fun (label, f) ->
+      let bar = String.make (int_of_float (f *. 50.0)) '#' in
+      Format.fprintf ppf "%-*s %6.2f%% %s@." width label (f *. 100.0) bar)
+    fracs

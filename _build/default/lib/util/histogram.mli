@@ -1,0 +1,39 @@
+(** Weighted histograms over labelled integer buckets.
+
+    Figure 8 of the paper is a distribution of schedule-length changes over
+    executed blocks, bucketed into ranges of cycles. This module provides the
+    bucketed accumulation and rendering for that figure and for ad-hoc
+    diagnostics. *)
+
+type bucket = {
+  label : string;  (** e.g. ["+1..4"] *)
+  lo : int;  (** inclusive lower bound *)
+  hi : int;  (** inclusive upper bound; [max_int] for open-ended *)
+}
+
+type t
+
+val create : bucket list -> t
+(** Buckets are tested in order; a sample falls into the first bucket whose
+    [\[lo, hi\]] range contains it. Samples matching no bucket are counted in
+    an implicit "other" bucket. *)
+
+val schedule_change_buckets : t
+(** The Figure-8 bucketing of per-block schedule-length improvement in
+    cycles: degraded (< 0), unchanged (0), +1..4, +5..8, and > +8. *)
+
+val add : t -> ?weight:float -> int -> unit
+(** [add t ~weight v] accumulates [weight] (default 1) into [v]'s bucket. *)
+
+val total : t -> float
+(** Sum of all accumulated weight, including the "other" bucket. *)
+
+val counts : t -> (string * float) list
+(** Per-bucket accumulated weight in declaration order; the "other" bucket is
+    appended only when non-empty. *)
+
+val fractions : t -> (string * float) list
+(** Per-bucket share of [total]; all zeros if nothing was accumulated. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an aligned ASCII bar chart of bucket percentages. *)

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+(* FNV-1a over the name, folded into the parent state without advancing it. *)
+let split_named t name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  { state = mix64 (Int64.logxor t.state !h) }
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (bits64 t) land max_int in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled to [0, 1), then to [0, bound). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let weighted_index t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let x = float t total in
+  let n = Array.length w in
+  let rec find i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else find (i + 1) acc
+  in
+  find 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    (* Inversion: floor(log(1-u) / log(1-p)). *)
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+
+let zipf t n s =
+  assert (n > 0);
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  weighted_index t w

@@ -1,0 +1,72 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let weighted_mean xws =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (x, w) -> (num +. (x *. w), den +. w))
+      (0.0, 0.0) xws
+  in
+  if den = 0.0 then 0.0 else num /. den
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+      let logs = List.map log xs in
+      exp (mean logs)
+
+let variance = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      mean (List.map (fun x -> (x -. m) ** 2.0) xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max = function
+  | [] -> None
+  | x :: xs ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) y -> (Float.min lo y, Float.max hi y))
+           (x, x) xs)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable weight : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; sum = 0.0; weight = 0.0; min = infinity; max = neg_infinity }
+
+  let add_weighted t x w =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. (x *. w);
+    t.weight <- t.weight +. w;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let add t x = add_weighted t x 1.0
+  let count t = t.count
+  let sum t = t.sum
+  let weight t = t.weight
+  let mean t = if t.weight = 0.0 then 0.0 else t.sum /. t.weight
+  let min t = t.min
+  let max t = t.max
+end

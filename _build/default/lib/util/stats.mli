@@ -1,0 +1,42 @@
+(** Small statistics helpers shared by the profiling and metrics layers. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val weighted_mean : (float * float) list -> float
+(** [weighted_mean \[(x, w); ...\]] with non-negative weights; 0 if the
+    weights sum to 0. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+
+val min_max : float list -> (float * float) option
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0, 100], nearest-rank on the sorted list.
+    Raises [Invalid_argument] on the empty list. *)
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or 0 when [den = 0]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+(** Online accumulator for count / sum / min / max / mean. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val add_weighted : t -> float -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val weight : t -> float
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+end

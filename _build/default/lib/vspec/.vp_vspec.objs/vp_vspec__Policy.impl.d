@@ -1,0 +1,1 @@
+lib/vspec/policy.ml: Format Vp_ir

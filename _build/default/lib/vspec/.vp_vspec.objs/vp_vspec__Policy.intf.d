@@ -1,0 +1,1 @@
+lib/vspec/policy.mli: Format Vp_ir

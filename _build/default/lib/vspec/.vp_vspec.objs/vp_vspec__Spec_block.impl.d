@@ -1,0 +1,1 @@
+lib/vspec/spec_block.ml: Array Format Hashtbl List Printf Vp_ir Vp_sched Vp_util

@@ -1,0 +1,1 @@
+lib/vspec/spec_block.mli: Format Vp_ir Vp_sched Vp_util

@@ -1,0 +1,1 @@
+lib/vspec/transform.ml: Array Hashtbl List Option Policy Printf Spec_block Vp_ir Vp_machine Vp_sched Vp_util

@@ -1,0 +1,1 @@
+lib/vspec/transform.mli: Policy Spec_block Vp_ir Vp_machine

@@ -1,0 +1,135 @@
+type predicted_load = {
+  index : int;
+  orig_load_id : int;
+  check_id : int;
+  ldpred_id : int;
+  dest_reg : int;
+  pred_reg : int;
+  sync_bit : int;
+  rate : float;
+  stream : int option;
+}
+
+type operand_source =
+  | Verified
+  | From_prediction of int
+  | From_spec of int
+
+type t = {
+  original_block : Vp_ir.Block.t;
+  original_graph : Vp_ir.Depgraph.t;
+  original_schedule : Vp_sched.Schedule.t;
+  block : Vp_ir.Block.t;
+  graph : Vp_ir.Depgraph.t;
+  schedule : Vp_sched.Schedule.t;
+  predicted : predicted_load array;
+  pred_deps : int list array;
+  operand_sources : operand_source list array;
+  wait_bits : int list array;
+  wait_masks : Vp_util.Bitset.t array;
+  cce_writeback : bool array;
+  sync_bits_used : int;
+}
+
+let num_predictions t = Array.length t.predicted
+
+let prediction_by_check t check_id =
+  Array.find_opt (fun p -> p.check_id = check_id) t.predicted
+
+let spec_ops t =
+  Array.to_list (Vp_ir.Block.ops t.block)
+  |> List.filter_map (fun (op : Vp_ir.Operation.t) ->
+         if Vp_ir.Operation.is_speculative op then Some op.id else None)
+
+let original_length t = Vp_sched.Schedule.length t.original_schedule
+let best_case_length t = Vp_sched.Schedule.length t.schedule
+
+let invariant t =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    (match Vp_sched.Schedule.validate t.original_schedule with
+    | Ok () -> ()
+    | Error e -> fail "original schedule invalid: %s" e);
+    (match Vp_sched.Schedule.validate t.schedule with
+    | Ok () -> ()
+    | Error e -> fail "speculative schedule invalid: %s" e);
+    (* Sync bits are injective and bounded. *)
+    let bits = Hashtbl.create 16 in
+    let claim_bit b who =
+      if b < 0 || b >= t.sync_bits_used then
+        fail "%s claims out-of-range bit %d" who b;
+      if Hashtbl.mem bits b then fail "%s claims duplicated bit %d" who b;
+      Hashtbl.replace bits b ()
+    in
+    Array.iter
+      (fun p -> claim_bit p.sync_bit (Printf.sprintf "prediction %d" p.index))
+      t.predicted;
+    Array.iter
+      (fun (op : Vp_ir.Operation.t) ->
+        match op.form with
+        | Speculative { sync_bit } ->
+            claim_bit sync_bit (Printf.sprintf "spec op %d" op.id);
+            if t.pred_deps.(op.id) = [] then
+              fail "spec op %d depends on no prediction" op.id
+        | Normal | Ldpred_of _ | Check _ | Non_speculative -> ())
+      (Vp_ir.Block.ops t.block);
+    (* Predictions are self-consistent. *)
+    Array.iter
+      (fun p ->
+        let ldpred = Vp_ir.Block.op t.block p.ldpred_id in
+        let check = Vp_ir.Block.op t.block p.check_id in
+        (match ldpred.form with
+        | Ldpred_of { sync_bit; checked_by } ->
+            if sync_bit <> p.sync_bit then
+              fail "prediction %d: LdPred bit mismatch" p.index;
+            if checked_by <> p.check_id then
+              fail "prediction %d: checked_by mismatch" p.index
+        | _ -> fail "prediction %d: op %d is not a LdPred" p.index p.ldpred_id);
+        if ldpred.dst <> Some p.pred_reg then
+          fail "prediction %d: LdPred writes the wrong register" p.index;
+        (match check.form with
+        | Check { pred_bit; _ } ->
+            if pred_bit <> p.sync_bit then
+              fail "prediction %d: check bit mismatch" p.index
+        | _ -> fail "prediction %d: op %d is not a check" p.index p.check_id);
+        if not (Vp_ir.Operation.is_load check) then
+          fail "prediction %d: check is not a load" p.index;
+        if check.dst <> Some p.dest_reg then
+          fail "prediction %d: check writes the wrong register" p.index)
+      t.predicted;
+    (* Wait masks agree with per-op wait bits. *)
+    let insns = Vp_sched.Schedule.instructions t.schedule in
+    Array.iteri
+      (fun c ops ->
+        let expected = Vp_util.Bitset.create () in
+        List.iter
+          (fun (op : Vp_ir.Operation.t) ->
+            List.iter (Vp_util.Bitset.set expected) t.wait_bits.(op.id))
+          ops;
+        if c >= Array.length t.wait_masks then fail "missing wait mask %d" c
+        else if not (Vp_util.Bitset.equal expected t.wait_masks.(c)) then
+          fail "wait mask mismatch at cycle %d" c)
+      insns;
+    Ok ()
+  with Bad msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>speculated block %s: %d predictions, %d sync bits@ "
+    (Vp_ir.Block.label t.original_block)
+    (num_predictions t) t.sync_bits_used;
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  pred %d: load %d (rate %.2f) -> ldpred %d (r%d, bit %d), check %d@ "
+        p.index p.orig_load_id p.rate p.ldpred_id p.pred_reg p.sync_bit
+        p.check_id)
+    t.predicted;
+  Format.fprintf ppf "original: %a@ speculative: %a@ wait masks:"
+    Vp_sched.Schedule.pp t.original_schedule Vp_sched.Schedule.pp t.schedule;
+  Array.iteri
+    (fun c mask ->
+      if not (Vp_util.Bitset.is_empty mask) then
+        Format.fprintf ppf " c%d=%a" c Vp_util.Bitset.pp mask)
+    t.wait_masks;
+  Format.fprintf ppf "@]"

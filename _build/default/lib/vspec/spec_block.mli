@@ -1,0 +1,98 @@
+(** The result of value-speculating one basic block.
+
+    A [Spec_block.t] bundles everything the execution engines and the
+    experiments need about a transformed block:
+
+    - the original block and its schedule (the baseline the paper's Tables 3
+      and 4 divide by);
+    - the transformed block — [K] [LdPred] operations prepended (one per
+      predicted load, reading nothing and writing a fresh {e predicted-value
+      register}), the predicted loads rewritten to check-prediction form,
+      their dependent operations rewritten to speculative form (direct
+      consumers renamed to read the predicted-value register) or marked
+      non-speculative — plus its dependence graph (including [Verify]
+      edges) and schedule;
+    - the Synchronization-register allocation: each LdPred and each
+      speculative operation owns one bit; every static instruction carries a
+      wait mask over those bits;
+    - bookkeeping for the Compensation Code Engine: which predictions each
+      speculative operation's value depends on, where each dependence
+      operand of a speculative operation comes from, and whether the CCE
+      may write a recomputed (or, for predicated-off operations, restored)
+      value back to the register file — allowed when the operation is the
+      block's last writer of the register, or when a stalling consumer
+      reads it with this operation as its last writer. *)
+
+(** One predicted load. *)
+type predicted_load = {
+  index : int;  (** prediction index, 0-based, in original program order *)
+  orig_load_id : int;  (** id of the load in the original block *)
+  check_id : int;  (** transformed id of the check-prediction operation *)
+  ldpred_id : int;  (** transformed id of the LdPred operation *)
+  dest_reg : int;  (** register the load (and its check) writes *)
+  pred_reg : int;  (** fresh register holding the predicted value *)
+  sync_bit : int;  (** Synchronization-register bit of the LdPred value *)
+  rate : float;  (** profiled value-prediction rate of the load *)
+  stream : int option;  (** the load's value stream *)
+}
+
+(** Where a speculative operation's operand value comes from, as recorded in
+    the Operand Value Buffer. *)
+type operand_source =
+  | Verified  (** correct at VLIW issue (no prediction involved) *)
+  | From_prediction of int
+      (** the LdPred value of prediction [index] (state P in the paper's
+          Table 1: verified by the check, corrected by the VLIW engine) *)
+  | From_spec of int
+      (** the value of the speculative operation with this transformed id
+          (state S: corrected only after the CCE re-executes the producer) *)
+
+type t = {
+  original_block : Vp_ir.Block.t;
+  original_graph : Vp_ir.Depgraph.t;
+  original_schedule : Vp_sched.Schedule.t;
+  block : Vp_ir.Block.t;  (** transformed block *)
+  graph : Vp_ir.Depgraph.t;  (** includes [Verify] edges *)
+  schedule : Vp_sched.Schedule.t;
+  predicted : predicted_load array;  (** in prediction-index order *)
+  pred_deps : int list array;
+      (** transformed id → prediction indexes the operation's {e value}
+          depends on; non-empty only for LdPred and speculative operations *)
+  operand_sources : operand_source list array;
+      (** transformed id → provenance of each dependence operand (parallel
+          to [Operation.reads]: the guard first if present, then the
+          sources); meaningful for speculative operations *)
+  wait_bits : int list array;
+      (** transformed id → Synchronization-register bits this operation's
+          issue waits on (non-speculative consumers and checks) *)
+  wait_masks : Vp_util.Bitset.t array;
+      (** static cycle → union of the cycle's operations' wait bits *)
+  cce_writeback : bool array;
+      (** transformed id → whether a CCE recomputation/restore of this
+          operation may write the register file (see the module comment) *)
+  sync_bits_used : int;  (** Synchronization-register width the block needs *)
+}
+
+val num_predictions : t -> int
+
+val prediction_by_check : t -> int -> predicted_load option
+(** Look up a prediction by the transformed id of its check operation. *)
+
+val spec_ops : t -> int list
+(** Transformed ids of speculative operations, ascending. *)
+
+val original_length : t -> int
+(** Schedule length of the original block. *)
+
+val best_case_length : t -> int
+(** Static length of the speculative schedule — the execution time when
+    every prediction is correct (no stalls occur by construction). *)
+
+val invariant : t -> (unit, string) result
+(** Structural sanity: schedules validate; bit allocation is injective and
+    within [sync_bits_used]; every speculative operation depends on at least
+    one prediction; renamed operands resolve to LdPred registers; wait masks
+    agree with [wait_bits]. Used by tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: predictions, both schedules, wait masks. *)

@@ -1,0 +1,1 @@
+lib/workload/block_gen.ml: List Spec_model Value_stream Vp_ir Vp_util

@@ -1,0 +1,1 @@
+lib/workload/block_gen.mli: Spec_model Value_stream Vp_ir Vp_util

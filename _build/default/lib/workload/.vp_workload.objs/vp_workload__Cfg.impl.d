@@ -1,0 +1,1 @@
+lib/workload/cfg.ml: Array Format List Vp_ir Vp_util Workload

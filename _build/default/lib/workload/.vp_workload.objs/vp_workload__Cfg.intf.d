@@ -1,0 +1,1 @@
+lib/workload/cfg.mli: Format Workload

@@ -1,0 +1,1 @@
+lib/workload/spec_model.ml: Array List Option String Value_stream Vp_util

@@ -1,0 +1,1 @@
+lib/workload/spec_model.mli: Value_stream Vp_util

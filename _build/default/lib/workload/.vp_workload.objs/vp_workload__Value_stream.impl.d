@@ -1,0 +1,1 @@
+lib/workload/value_stream.ml: Array Format List Vp_util

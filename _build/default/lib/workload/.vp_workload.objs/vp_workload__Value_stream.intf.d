@@ -1,0 +1,1 @@
+lib/workload/value_stream.mli: Format Vp_util

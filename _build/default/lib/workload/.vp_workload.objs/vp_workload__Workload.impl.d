@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Block_gen Float Format Hashtbl List Option Printf Spec_model Value_stream Vp_ir Vp_util

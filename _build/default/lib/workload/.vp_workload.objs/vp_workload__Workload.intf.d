@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Format Spec_model Value_stream Vp_ir

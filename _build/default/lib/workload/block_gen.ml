@@ -1,0 +1,142 @@
+let num_live_ins = 16
+
+type ctx = {
+  model : Spec_model.t;
+  rng : Vp_util.Rng.t;
+  mutable next_reg : int;
+  mutable defs : (int * bool) list;  (* (register, produced_by_load), recent first *)
+  mutable ops : Vp_ir.Operation.t list;  (* reversed *)
+  mutable shapes : Value_stream.shape list;  (* reversed *)
+  mutable next_stream : int;
+  mutable count : int;
+}
+
+let recent_defs ctx =
+  List.filteri (fun i _ -> i < ctx.model.locality) ctx.defs
+
+(* Source operand: an in-block result with probability [dep_density], else a
+   live-in. [prefer_load] biases pointer-chasing loads towards consuming an
+   earlier load's result. *)
+let pick_src ?(prefer_load = false) ctx =
+  let window = recent_defs ctx in
+  let from_defs =
+    window <> [] && Vp_util.Rng.bernoulli ctx.rng ctx.model.dep_density
+  in
+  if not from_defs then Vp_util.Rng.int ctx.rng num_live_ins
+  else
+    let pool =
+      if prefer_load && Vp_util.Rng.bernoulli ctx.rng ctx.model.load_chain_bias
+      then
+        match List.filter snd window with [] -> window | loads -> loads
+      else window
+    in
+    fst (List.nth pool (Vp_util.Rng.int ctx.rng (List.length pool)))
+
+let pick_dst ctx =
+  let window = recent_defs ctx in
+  if window <> [] && Vp_util.Rng.bernoulli ctx.rng ctx.model.reuse_fraction
+  then fst (List.nth window (Vp_util.Rng.int ctx.rng (List.length window)))
+  else begin
+    let r = ctx.next_reg in
+    ctx.next_reg <- r + 1;
+    r
+  end
+
+let emit ctx ~is_load op =
+  ctx.ops <- op :: ctx.ops;
+  ctx.count <- ctx.count + 1;
+  match Vp_ir.Operation.writes op with
+  | Some r -> ctx.defs <- (r, is_load) :: List.remove_assoc r ctx.defs
+  | None -> ()
+
+let emit_load ctx =
+  let addr = pick_src ~prefer_load:true ctx in
+  let chained =
+    match List.assoc_opt addr ctx.defs with
+    | Some from_load -> from_load
+    | None -> false
+  in
+  let dst = pick_dst ctx in
+  let stream = ctx.next_stream in
+  ctx.next_stream <- stream + 1;
+  ctx.shapes <-
+    Spec_model.draw_shape ~chained ctx.model ctx.rng :: ctx.shapes;
+  emit ctx ~is_load:true
+    (Vp_ir.Operation.make ~dst ~srcs:[ addr ] ~stream ~id:ctx.count
+       Vp_ir.Opcode.Load)
+
+let emit_store ctx =
+  let addr = pick_src ctx and value = pick_src ctx in
+  emit ctx ~is_load:false
+    (Vp_ir.Operation.make ~srcs:[ addr; value ] ~id:ctx.count
+       Vp_ir.Opcode.Store)
+
+let int_opcodes =
+  [| Vp_ir.Opcode.Add; Sub; And; Or; Xor; Shift |]
+
+let float_opcodes = [| Vp_ir.Opcode.Fadd; Fadd; Fmul |]
+
+let emit_alu ctx =
+  let m = ctx.model in
+  let opcode =
+    if Vp_util.Rng.bernoulli ctx.rng m.float_fraction then
+      if Vp_util.Rng.bernoulli ctx.rng 0.05 then Vp_ir.Opcode.Fdiv
+      else Vp_util.Rng.choose ctx.rng float_opcodes
+    else if Vp_util.Rng.bernoulli ctx.rng m.mul_fraction then Vp_ir.Opcode.Mul
+    else if Vp_util.Rng.bernoulli ctx.rng 0.10 then Vp_ir.Opcode.Move
+    else Vp_util.Rng.choose ctx.rng int_opcodes
+  in
+  let srcs =
+    List.init (Vp_ir.Opcode.num_sources opcode) (fun _ -> pick_src ctx)
+  in
+  let dst = pick_dst ctx in
+  emit ctx ~is_load:false (Vp_ir.Operation.make ~dst ~srcs ~id:ctx.count opcode)
+
+let emit_branch ctx =
+  let a = pick_src ctx and b = pick_src ctx in
+  let predicate = pick_dst ctx in
+  emit ctx ~is_load:false
+    (Vp_ir.Operation.make ~dst:predicate ~srcs:[ a; b ] ~id:ctx.count
+       Vp_ir.Opcode.Cmp);
+  emit ctx ~is_load:false
+    (Vp_ir.Operation.make ~srcs:[ predicate ] ~id:ctx.count
+       Vp_ir.Opcode.Branch)
+
+let generate model ~rng ~stream_base ~label =
+  let ctx =
+    {
+      model;
+      rng;
+      next_reg = num_live_ins;
+      defs = [];
+      ops = [];
+      shapes = [];
+      next_stream = stream_base;
+      count = 0;
+    }
+  in
+  let spread = model.block_size_spread in
+  let size =
+    max 4
+      (model.block_size_mean - spread
+      + Vp_util.Rng.int rng (max 1 ((2 * spread) + 1)))
+  in
+  let wants_branch = Vp_util.Rng.bernoulli rng model.branch_fraction in
+  let body = if wants_branch then max 2 (size - 2) else size in
+  (* Stores are deferred to the end of the block: real blocks compute into
+     registers and commit results last. This also keeps the conservative
+     store->load memory serialization from fabricating dependence chains the
+     compiler of a real program would not see. *)
+  let deferred_stores = ref 0 in
+  for _ = 1 to body do
+    if Vp_util.Rng.bernoulli rng model.mem_fraction then
+      if Vp_util.Rng.bernoulli rng model.store_fraction then
+        incr deferred_stores
+      else emit_load ctx
+    else emit_alu ctx
+  done;
+  for _ = 1 to !deferred_stores do
+    emit_store ctx
+  done;
+  if wants_branch then emit_branch ctx;
+  (Vp_ir.Block.of_ops ~label (List.rev ctx.ops), List.rev ctx.shapes)

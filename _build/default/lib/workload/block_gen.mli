@@ -1,0 +1,27 @@
+(** Random basic-block generation driven by a benchmark model.
+
+    Produces blocks whose statistical character (size, operation mix,
+    dependence density, pointer-chasing depth, load predictability) follows
+    a {!Spec_model.t}. Generation is deterministic in the supplied RNG.
+
+    Register convention: registers 0–15 are live-ins; results use fresh
+    registers from 16 upward, except that with the model's
+    [reuse_fraction] probability a result overwrites an earlier result's
+    register (creating anti/output dependences, which real post-allocation
+    code has). Every load receives a fresh stream id starting at
+    [stream_base] and a value-stream shape drawn from the model's mix. *)
+
+val num_live_ins : int
+(** Registers 0..15 are live-ins; every generated result uses a higher
+    register. Exposed for the region builder, which stitches later blocks'
+    live-in reads to earlier blocks' results. *)
+
+val generate :
+  Spec_model.t ->
+  rng:Vp_util.Rng.t ->
+  stream_base:int ->
+  label:string ->
+  Vp_ir.Block.t * Value_stream.shape list
+(** [generate model ~rng ~stream_base ~label] returns the block and the
+    shapes of its loads' streams, in stream-id order ([stream_base] first).
+    The block has at least 4 operations and at most one (final) branch. *)

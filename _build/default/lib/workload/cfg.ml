@@ -1,0 +1,57 @@
+type edge = { dst : int; probability : float }
+
+type t = { succs : edge list array }
+
+let derive ?(seed = 42) workload =
+  let program = Workload.program workload in
+  let n = Vp_ir.Program.num_blocks program in
+  let rng = Vp_util.Rng.create seed in
+  let rng = Vp_util.Rng.split_named rng "cfg" in
+  let fall_through i = (i + 1) mod n in
+  let jump_target i =
+    (* any block other than [i] and its fall-through *)
+    let rec pick () =
+      let t = Vp_util.Rng.int rng n in
+      if n > 2 && (t = i || t = fall_through i) then pick () else t
+    in
+    pick ()
+  in
+  let succs =
+    Array.init n (fun i ->
+        let block = (Vp_ir.Program.nth program i).block in
+        let has_branch =
+          Vp_ir.Block.size block > 0
+          && Vp_ir.Operation.is_branch
+               (Vp_ir.Block.op block (Vp_ir.Block.size block - 1))
+        in
+        if has_branch then begin
+          let bias = 0.60 +. Vp_util.Rng.float rng 0.35 in
+          [
+            { dst = fall_through i; probability = bias };
+            { dst = jump_target i; probability = 1.0 -. bias };
+          ]
+        end
+        else [ { dst = fall_through i; probability = 1.0 } ])
+  in
+  { succs }
+
+let num_blocks t = Array.length t.succs
+let successors t i = t.succs.(i)
+
+let hottest_successor t i =
+  List.fold_left
+    (fun best e ->
+      match best with
+      | Some b when b.probability >= e.probability -> best
+      | _ -> Some e)
+    None t.succs.(i)
+
+let pp ppf t =
+  Array.iteri
+    (fun i edges ->
+      Format.fprintf ppf "%d ->" i;
+      List.iter
+        (fun e -> Format.fprintf ppf " %d(%.2f)" e.dst e.probability)
+        edges;
+      Format.fprintf ppf "@ ")
+    t.succs

@@ -1,0 +1,36 @@
+(** Control-flow structure over a generated program's blocks.
+
+    The base experiments treat blocks independently (the paper schedules
+    basic blocks); the region extension needs to know how blocks chain, so
+    this module derives a deterministic control-flow graph for a workload:
+
+    - a block ending in a branch gets two successors — the fall-through
+      block and a jump target — with a branch bias drawn from
+      [\[0.60, 0.95\]] (real branches are skewed; that skew is what makes
+      superblock formation profitable);
+    - a branch-less block falls through with probability 1;
+    - the last block wraps to a back-edge target, closing the loop
+      structure.
+
+    Probabilities model an edge profile: the expected execution flow is
+    consistent with the blocks' profiled execution counts only
+    approximately (as real edge profiles are with block profiles), and the
+    superblock builder relies on the edge biases, not on flow
+    conservation. *)
+
+type edge = { dst : int; probability : float }
+
+type t
+
+val derive : ?seed:int -> Workload.t -> t
+(** Deterministic in [(workload, seed)]; default seed 42. *)
+
+val num_blocks : t -> int
+
+val successors : t -> int -> edge list
+(** Outgoing edges, probabilities summing to 1. *)
+
+val hottest_successor : t -> int -> edge option
+(** The most likely successor, if any. *)
+
+val pp : Format.formatter -> t -> unit

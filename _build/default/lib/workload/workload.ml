@@ -1,0 +1,101 @@
+type t = {
+  model : Spec_model.t;
+  seed : int;
+  program : Vp_ir.Program.t;
+  shapes : Value_stream.shape array;
+}
+
+let zipf_counts ~rng ~skew ~blocks ~total =
+  (* Deterministic Zipf split of [total] executions over [blocks] blocks,
+     with ranks assigned in shuffled order and every block executing at
+     least once. *)
+  let ranks = Array.init blocks (fun i -> i) in
+  Vp_util.Rng.shuffle rng ranks;
+  let weights =
+    Array.init blocks (fun i ->
+        1.0 /. Float.pow (float_of_int (i + 1)) skew)
+  in
+  let sum = Array.fold_left ( +. ) 0.0 weights in
+  let counts = Array.make blocks 1 in
+  Array.iteri
+    (fun block rank ->
+      counts.(block) <-
+        max 1
+          (int_of_float
+             (Float.round (float_of_int total *. weights.(rank) /. sum))))
+    ranks;
+  counts
+
+let generate ?(seed = 42) model =
+  let rng = Vp_util.Rng.create seed in
+  let rng = Vp_util.Rng.split_named rng model.Spec_model.name in
+  let shapes = ref [] in
+  let stream_base = ref 0 in
+  let blocks =
+    List.init model.num_blocks (fun i ->
+        let block_rng = Vp_util.Rng.split rng in
+        let block, block_shapes =
+          Block_gen.generate model ~rng:block_rng ~stream_base:!stream_base
+            ~label:(Printf.sprintf "%s_bb%d" model.name i)
+        in
+        stream_base := !stream_base + List.length block_shapes;
+        shapes := List.rev_append block_shapes !shapes;
+        block)
+  in
+  let counts =
+    zipf_counts ~rng ~skew:model.zipf_skew ~blocks:model.num_blocks
+      ~total:model.dynamic_executions
+  in
+  let weighted =
+    List.mapi
+      (fun i block -> { Vp_ir.Program.block; count = counts.(i) })
+      blocks
+  in
+  {
+    model;
+    seed;
+    program = Vp_ir.Program.create ~name:model.name weighted;
+    shapes = Array.of_list (List.rev !shapes);
+  }
+
+let model t = t.model
+let seed t = t.seed
+let program t = t.program
+let num_streams t = Array.length t.shapes
+
+let shape t id =
+  if id < 0 || id >= num_streams t then
+    invalid_arg "Workload.shape: unknown stream";
+  t.shapes.(id)
+
+let stream t id =
+  let shape = shape t id in
+  let rng = Vp_util.Rng.create t.seed in
+  let rng = Vp_util.Rng.split_named rng (Printf.sprintf "stream-%d" id) in
+  Value_stream.create rng shape
+
+let block_count t i = (Vp_ir.Program.nth t.program i).count
+
+let pp_summary ppf t =
+  let program = t.program in
+  let loads =
+    Array.fold_left
+      (fun acc (wb : Vp_ir.Program.weighted_block) ->
+        acc + List.length (Vp_ir.Block.loads wb.block))
+      0 (Vp_ir.Program.blocks program)
+  in
+  let mix = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      let k = Value_stream.shape_name s in
+      Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)))
+    t.shapes;
+  Format.fprintf ppf
+    "@[<v>%s (seed %d): %d blocks, %d static ops, %d loads, %d dynamic block \
+     executions@ stream mix:"
+    t.model.name t.seed
+    (Vp_ir.Program.num_blocks program)
+    (Vp_ir.Program.total_operations program)
+    loads t.model.dynamic_executions;
+  Hashtbl.iter (fun k n -> Format.fprintf ppf " %s=%d" k n) mix;
+  Format.fprintf ppf "@]"

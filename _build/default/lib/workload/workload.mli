@@ -1,0 +1,39 @@
+(** A generated benchmark instance: program, block frequencies, and the
+    value streams behind every load.
+
+    [generate] expands a {!Spec_model.t} into a concrete {!Vp_ir.Program.t}
+    whose per-block execution counts follow the model's Zipf skew (hot-block
+    ranks are assigned randomly so hotness is uncorrelated with block size),
+    and records the value-stream shape of every load. Everything is
+    deterministic in [(model, seed)].
+
+    Stream instances are re-created on demand: profiling and simulation each
+    call {!stream} and replay the same deterministic sequence, which mirrors
+    running the real program twice (once under the profiler, once under the
+    simulator). *)
+
+type t
+
+val generate : ?seed:int -> Spec_model.t -> t
+(** Default [seed] 42. *)
+
+val model : t -> Spec_model.t
+
+val seed : t -> int
+
+val program : t -> Vp_ir.Program.t
+
+val num_streams : t -> int
+
+val shape : t -> int -> Value_stream.shape
+(** Shape of stream [id]. Raises [Invalid_argument] on unknown ids. *)
+
+val stream : t -> int -> Value_stream.t
+(** Fresh replayable instance of stream [id], deterministically seeded from
+    [(seed, id)]. *)
+
+val block_count : t -> int -> int
+(** Execution count of block index [i] (same as the program's). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph description: blocks, operations, loads, stream mix. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array List Vliw_vp Vp_baseline Vp_cache Vp_engine Vp_ir Vp_machine Vp_sched Vp_vspec

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest List QCheck QCheck_alcotest Vp_cache

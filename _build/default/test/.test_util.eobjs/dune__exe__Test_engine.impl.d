@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Hashtbl Lazy List Option QCheck QCheck_alcotest String Vliw_vp Vp_engine Vp_ir Vp_machine Vp_profile Vp_sched Vp_util Vp_vspec Vp_workload

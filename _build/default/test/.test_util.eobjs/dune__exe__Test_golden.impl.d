@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Lazy List Vliw_vp Vp_engine Vp_metrics Vp_util Vp_workload

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Filename Format Fun List QCheck QCheck_alcotest String Sys Vliw_vp Vp_ir Vp_util Vp_workload

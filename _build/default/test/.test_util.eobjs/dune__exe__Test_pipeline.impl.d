@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Filename Float Format List Option String Sys Vliw_vp Vp_cache Vp_engine Vp_ir Vp_machine Vp_metrics Vp_predict Vp_sched Vp_vspec Vp_workload

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Float List QCheck QCheck_alcotest Vp_predict Vp_util Vp_workload

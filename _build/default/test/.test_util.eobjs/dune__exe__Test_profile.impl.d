@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Float List Option Vp_ir Vp_predict Vp_profile Vp_workload

@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Array Fun Hashtbl List Option String Vliw_vp Vp_engine Vp_ir Vp_machine Vp_region Vp_sched Vp_vspec Vp_workload

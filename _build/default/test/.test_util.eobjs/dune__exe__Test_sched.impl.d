@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Format List QCheck QCheck_alcotest Vp_ir Vp_machine Vp_sched Vp_util Vp_workload

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array List Vliw_vp Vp_engine Vp_vspec Vp_workload

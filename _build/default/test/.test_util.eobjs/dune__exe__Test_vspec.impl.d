@@ -1,0 +1,1 @@
+test/test_vspec.ml: Alcotest Array List QCheck QCheck_alcotest Vp_ir Vp_machine Vp_profile Vp_sched Vp_util Vp_vspec Vp_workload

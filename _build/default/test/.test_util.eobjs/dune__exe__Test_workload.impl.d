@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Option QCheck QCheck_alcotest Vp_ir Vp_machine Vp_predict Vp_util Vp_workload

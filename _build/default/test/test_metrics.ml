@@ -1,0 +1,112 @@
+(* Tests for vp_metrics: the Table 2/3 and Figure 8 aggregations, checked
+   against hand-computed values on synthetic per-block stats. *)
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let spec ?(predictions = 1) ~p_best ~p_worst ~best ~worst ~expected () =
+  {
+    Vp_metrics.Summary.predictions;
+    p_all_correct = p_best;
+    p_all_incorrect = p_worst;
+    best_cycles = best;
+    worst_cycles = worst;
+    expected_cycles = expected;
+    expected_stall_cycles = 0.0;
+  }
+
+let blocks =
+  [|
+    (* unspeculated hot block: 10 executions of 10 cycles = 100 *)
+    { Vp_metrics.Summary.count = 10; original_cycles = 10; speculated = None };
+    (* speculated: 5 executions, orig 20, best 15 (p 0.8), worst 25 (p 0.2),
+       expected 17 -> time 85 *)
+    {
+      Vp_metrics.Summary.count = 5;
+      original_cycles = 20;
+      speculated =
+        Some (spec ~p_best:0.8 ~p_worst:0.2 ~best:15 ~worst:25 ~expected:17.0 ());
+    };
+  |]
+
+let test_total_time () =
+  checkf "total = 100 + 5*17" 185.0 (Vp_metrics.Summary.total_time blocks)
+
+let test_table2 () =
+  let f = Vp_metrics.Summary.table2 blocks in
+  (* best fraction = 5 * 0.8 * 15 / 185 *)
+  checkf "best" (60.0 /. 185.0) f.best;
+  checkf "worst" (5.0 *. 0.2 *. 25.0 /. 185.0) f.worst
+
+let test_table3 () =
+  let r = Vp_metrics.Summary.table3 blocks in
+  checkf "best ratio" (15.0 /. 20.0) r.best;
+  checkf "worst ratio" (25.0 /. 20.0) r.worst
+
+let test_table3_no_speculation () =
+  let only =
+    [| { Vp_metrics.Summary.count = 1; original_cycles = 5; speculated = None } |]
+  in
+  let r = Vp_metrics.Summary.table3 only in
+  checkf "best defaults to 1" 1.0 r.best;
+  checkf "worst defaults to 1" 1.0 r.worst
+
+let test_figure8 () =
+  let h = Vp_metrics.Summary.figure8 blocks in
+  let fracs = Vp_metrics.Summary.figure8 blocks |> Vp_util.Histogram.fractions in
+  (* unspeculated block: change 0, weight 10; speculated: 20-15=5, weight 5 *)
+  checkf "total weight" 15.0 (Vp_util.Histogram.total h);
+  checkf "unchanged share" (10.0 /. 15.0) (List.assoc "unchanged" fracs);
+  checkf "+5..8 share" (5.0 /. 15.0) (List.assoc "+5..8" fracs)
+
+let test_figure8_degradation () =
+  let degraded =
+    [|
+      {
+        Vp_metrics.Summary.count = 1;
+        original_cycles = 10;
+        speculated =
+          Some
+            (spec ~p_best:1.0 ~p_worst:0.0 ~best:12 ~worst:12 ~expected:12.0 ());
+      };
+    |]
+  in
+  let fracs =
+    Vp_metrics.Summary.figure8 degraded |> Vp_util.Histogram.fractions
+  in
+  checkf "degraded bucket" 1.0 (List.assoc "degraded" fracs)
+
+let test_speculated_fraction () =
+  checkf "5 of 15 executions" (5.0 /. 15.0)
+    (Vp_metrics.Summary.speculated_fraction blocks)
+
+let test_expected_speedup () =
+  (* orig total = 100 + 100 = 200; expected = 185 *)
+  checkf "speedup" (200.0 /. 185.0) (Vp_metrics.Summary.expected_speedup blocks);
+  checkb "speedup > 1 when prediction helps" true
+    (Vp_metrics.Summary.expected_speedup blocks > 1.0)
+
+let test_empty_stats () =
+  let empty = [||] in
+  checkf "empty total" 0.0 (Vp_metrics.Summary.total_time empty);
+  let f = Vp_metrics.Summary.table2 empty in
+  checkf "empty table2" 0.0 f.best;
+  checkf "empty fraction" 0.0 (Vp_metrics.Summary.speculated_fraction empty)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vp_metrics"
+    [
+      ( "summary",
+        [
+          tc "total time" test_total_time;
+          tc "table 2" test_table2;
+          tc "table 3" test_table3;
+          tc "table 3 without speculation" test_table3_no_speculation;
+          tc "figure 8" test_figure8;
+          tc "figure 8 degradation" test_figure8_degradation;
+          tc "speculated fraction" test_speculated_fraction;
+          tc "expected speedup" test_expected_speedup;
+          tc "empty stats" test_empty_stats;
+        ] );
+    ]

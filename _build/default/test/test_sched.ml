@@ -1,0 +1,189 @@
+(* Tests for vp_sched: schedules and the critical-path list scheduler. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let op = Vp_ir.Operation.make
+let machine = Vp_machine.Descr.playdoh ~width:4
+
+let chain_block () =
+  (* add -> load -> sub: pure chain, lengths are exact. *)
+  Vp_ir.Block.of_ops
+    [
+      op ~dst:10 ~srcs:[ 1; 2 ] ~id:0 Vp_ir.Opcode.Add;
+      op ~dst:11 ~srcs:[ 10 ] ~stream:0 ~id:0 Vp_ir.Opcode.Load;
+      op ~dst:12 ~srcs:[ 11; 3 ] ~id:0 Vp_ir.Opcode.Sub;
+    ]
+
+let parallel_block n =
+  (* n independent adds *)
+  Vp_ir.Block.of_ops
+    (List.init n (fun i -> op ~dst:(20 + i) ~srcs:[ 1; 2 ] ~id:0 Vp_ir.Opcode.Add))
+
+let test_chain_schedule () =
+  let s = Vp_sched.List_scheduler.schedule_block machine (chain_block ()) in
+  checki "length = 1 + 3 + 1" 5 (Vp_sched.Schedule.length s);
+  checki "op0 at 0" 0 (Vp_sched.Schedule.issue_cycle s 0);
+  checki "op1 at 1" 1 (Vp_sched.Schedule.issue_cycle s 1);
+  checki "op2 at 4" 4 (Vp_sched.Schedule.issue_cycle s 2);
+  checki "completion of load" 4 (Vp_sched.Schedule.completion_cycle s 1);
+  checkb "validates" true (Vp_sched.Schedule.validate s = Ok ())
+
+let test_resource_bound () =
+  (* 8 independent adds on 2 integer units: 4 cycles. *)
+  let s = Vp_sched.List_scheduler.schedule_block machine (parallel_block 8) in
+  checki "resource-bound length" 4 (Vp_sched.Schedule.length s);
+  checkb "validates" true (Vp_sched.Schedule.validate s = Ok ())
+
+let test_num_instructions () =
+  let s = Vp_sched.List_scheduler.schedule_block machine (chain_block ()) in
+  (* last issue at cycle 4 -> 5 fetchable instructions, with nops inside *)
+  checki "instructions" 5 (Vp_sched.Schedule.num_instructions s);
+  let insns = Vp_sched.Schedule.instructions s in
+  checki "nop at 2" 0 (List.length insns.(2));
+  checki "op at 4" 1 (List.length insns.(4))
+
+let test_at_cycle () =
+  let s = Vp_sched.List_scheduler.schedule_block machine (parallel_block 3) in
+  checki "two ops in cycle 0" 2 (List.length (Vp_sched.Schedule.at_cycle s 0));
+  checki "one op in cycle 1" 1 (List.length (Vp_sched.Schedule.at_cycle s 1))
+
+let test_validate_catches_dependence_violation () =
+  let b = chain_block () in
+  let g = Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency machine) b in
+  let s = Vp_sched.Schedule.make machine g ~issue:[| 0; 0; 0 |] in
+  checkb "violation detected" true (Vp_sched.Schedule.validate s <> Ok ())
+
+let test_validate_catches_resource_violation () =
+  let b = parallel_block 5 in
+  let g = Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency machine) b in
+  (* all five adds in cycle 0: 2 integer units, issue width 4 *)
+  let s = Vp_sched.Schedule.make machine g ~issue:(Array.make 5 0) in
+  checkb "violation detected" true (Vp_sched.Schedule.validate s <> Ok ())
+
+let test_make_validation () =
+  let b = chain_block () in
+  let g = Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency machine) b in
+  checkb "wrong arity rejected" true
+    (try ignore (Vp_sched.Schedule.make machine g ~issue:[| 0 |]); false
+     with Invalid_argument _ -> true);
+  checkb "negative cycle rejected" true
+    (try
+       ignore (Vp_sched.Schedule.make machine g ~issue:[| 0; -1; 5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sequential_length () =
+  checki "chain sequential" 5
+    (Vp_sched.List_scheduler.sequential_length machine (chain_block ()));
+  checki "parallel sequential" 8
+    (Vp_sched.List_scheduler.sequential_length machine (parallel_block 8))
+
+let test_branch_scheduled_last () =
+  let b =
+    Vp_ir.Block.of_ops
+      [
+        op ~dst:10 ~srcs:[ 1; 2 ] ~id:0 Vp_ir.Opcode.Cmp;
+        op ~dst:11 ~srcs:[ 3 ] ~stream:0 ~id:0 Vp_ir.Opcode.Load;
+        op ~srcs:[ 10 ] ~id:0 Vp_ir.Opcode.Branch;
+      ]
+  in
+  let s = Vp_sched.List_scheduler.schedule_block machine b in
+  let branch_cycle = Vp_sched.Schedule.issue_cycle s 2 in
+  checkb "branch issues last" true
+    (branch_cycle >= Vp_sched.Schedule.issue_cycle s 0
+    && branch_cycle >= Vp_sched.Schedule.issue_cycle s 1)
+
+(* --- Properties over generated blocks --- *)
+
+let arbitrary_block =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (seed, pick) ->
+          let models = Vp_workload.Spec_model.all in
+          let model = List.nth models (pick mod List.length models) in
+          let rng = Vp_util.Rng.create seed in
+          fst
+            (Vp_workload.Block_gen.generate model ~rng ~stream_base:0
+               ~label:"prop"))
+        (pair int (int_bound 7)))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Vp_ir.Block.pp) gen
+
+let machines =
+  [ Vp_machine.Descr.playdoh ~width:2; machine; Vp_machine.Descr.playdoh ~width:8 ]
+
+let prop_schedule_validates =
+  QCheck.Test.make ~name:"list schedules always validate" ~count:150
+    arbitrary_block (fun b ->
+      List.for_all
+        (fun d ->
+          Vp_sched.Schedule.validate (Vp_sched.List_scheduler.schedule_block d b)
+          = Ok ())
+        machines)
+
+let prop_length_bounds =
+  QCheck.Test.make
+    ~name:"critical path <= schedule length <= sequential length" ~count:150
+    arbitrary_block (fun b ->
+      List.for_all
+        (fun d ->
+          let g =
+            Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency d) b
+          in
+          let len =
+            Vp_sched.Schedule.length (Vp_sched.List_scheduler.schedule d g)
+          in
+          Vp_ir.Depgraph.critical_path_length g <= len
+          && len <= Vp_sched.List_scheduler.sequential_length d b)
+        machines)
+
+let prop_wider_never_slower =
+  QCheck.Test.make ~name:"wider machines never lengthen the schedule"
+    ~count:150 arbitrary_block (fun b ->
+      let len w =
+        Vp_sched.Schedule.length
+          (Vp_sched.List_scheduler.schedule_block
+             (Vp_machine.Descr.playdoh ~width:w)
+             b)
+      in
+      len 2 >= len 4 && len 4 >= len 8 && len 8 >= len 16)
+
+let prop_all_ops_scheduled =
+  QCheck.Test.make ~name:"every operation receives exactly one issue cycle"
+    ~count:150 arbitrary_block (fun b ->
+      let s = Vp_sched.List_scheduler.schedule_block machine b in
+      let count =
+        Array.fold_left
+          (fun acc ops -> acc + List.length ops)
+          0
+          (Vp_sched.Schedule.instructions s)
+      in
+      count = Vp_ir.Block.size b)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vp_sched"
+    [
+      ( "schedule",
+        [
+          tc "chain" test_chain_schedule;
+          tc "resource bound" test_resource_bound;
+          tc "num instructions" test_num_instructions;
+          tc "at_cycle" test_at_cycle;
+          tc "validate dependence violation"
+            test_validate_catches_dependence_violation;
+          tc "validate resource violation"
+            test_validate_catches_resource_violation;
+          tc "make validation" test_make_validation;
+          tc "sequential length" test_sequential_length;
+          tc "branch last" test_branch_scheduled_last;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_schedule_validates;
+          QCheck_alcotest.to_alcotest prop_length_bounds;
+          QCheck_alcotest.to_alcotest prop_wider_never_slower;
+          QCheck_alcotest.to_alcotest prop_all_ops_scheduled;
+        ] );
+    ]
