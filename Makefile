@@ -1,0 +1,29 @@
+# Convenience wrapper around dune. `make check` is what CI runs.
+
+.PHONY: all build test check fmt bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Formatting is opt-in: the check passes through when ocamlformat is not
+# installed so `make check` works in minimal containers.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -rf _cache

@@ -9,11 +9,53 @@ let line = String.make 72 '='
 
 let section title = Printf.printf "%s\n%s\n%s\n" line title line
 
+(* --- Execution context ---
+
+   The harness accepts a tiny flag vocabulary so the regeneration half can
+   fan out over worker domains and reuse cached results:
+
+     dune exec bench/main.exe -- --jobs 4
+     dune exec bench/main.exe -- --jobs 4 --no-cache
+     dune exec bench/main.exe -- --cache-dir /tmp/vp-cache
+
+   Output is byte-identical whatever --jobs says; the telemetry summary
+   goes to stderr so it never perturbs the regenerated tables. *)
+
+let exec_context, emit_telemetry =
+  let jobs = ref 1 and cache = ref true and dir = ref Vp_exec.Store.default_dir in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | "--no-cache" :: rest ->
+        cache := false;
+        parse rest
+    | "--cache-dir" :: d :: rest ->
+        dir := d;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "bench: unknown argument %s (expected --jobs N, --no-cache, \
+           --cache-dir DIR)\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let store = if !cache then Some (Vp_exec.Store.create ~dir:!dir ()) else None in
+  let progress = Vp_exec.Progress.create () in
+  let exec = Vp_exec.Context.create ~jobs:!jobs ?store ~progress () in
+  ( exec,
+    fun () ->
+      Printf.eprintf "telemetry: %s\n%!" (Vp_exec.Progress.json_summary progress)
+  )
+
 (* --- Part 1: regenerate the paper's evaluation --- *)
 
 let full_run () =
+  let exec = exec_context in
   let models = Vp_workload.Spec_model.all in
-  let summaries = Vliw_vp.Experiments.run_all models in
+  let summaries = Vliw_vp.Experiments.run_all ~exec models in
   section "Table 2 (paper: best-case fractions 0.35-0.63, mean ~0.50)";
   print_string (Vliw_vp.Experiments.render_table2 summaries);
   section
@@ -22,7 +64,7 @@ let full_run () =
   print_string (Vliw_vp.Experiments.render_table3 summaries);
   section "Table 4 (paper: wider machine => lower schedule-length fractions)";
   print_string
-    (Vliw_vp.Experiments.render_table4 (Vliw_vp.Experiments.table4 models));
+    (Vliw_vp.Experiments.render_table4 (Vliw_vp.Experiments.table4 ~exec models));
   section "Figure 8 (paper: most executed blocks improve by 1-4 cycles)";
   print_string (Vliw_vp.Experiments.render_figure8 summaries);
   section
@@ -37,13 +79,13 @@ let full_run () =
   section
     "Extension: superblock regions (paper's future work; CCE retire width scaled with the region size)";
   print_string
-    (Vliw_vp.Experiments.render_regions (Vliw_vp.Experiments.regions models));
+    (Vliw_vp.Experiments.render_regions (Vliw_vp.Experiments.regions ~exec models));
   section
     "Extension: hyperblocks (if-conversion; speculation under predicates \
      via old-value restore)";
   print_string
     (Vliw_vp.Experiments.render_hyperblocks
-       (Vliw_vp.Experiments.hyperblocks models));
+       (Vliw_vp.Experiments.hyperblocks ~exec models));
   section
     "Extension: hardware-mode validation (run-time VP table vs profile expectation)";
   print_string
@@ -57,7 +99,8 @@ let full_run () =
   let ablation title sweep =
     print_string
       (Vliw_vp.Experiments.render_ablation ~title
-         (Vliw_vp.Experiments.ablate Vp_workload.Spec_model.compress sweep));
+         (Vliw_vp.Experiments.ablate ~exec Vp_workload.Spec_model.compress
+            sweep));
     print_newline ()
   in
   ablation "profile threshold" Vliw_vp.Experiments.threshold_sweep;
@@ -71,7 +114,7 @@ let full_run () =
   ablation "block-latency accounting" Vliw_vp.Experiments.accounting_sweep;
   print_string
     (Vliw_vp.Experiments.render_recovery_sensitivity ~bench:"compress"
-       (Vliw_vp.Experiments.recovery_sensitivity
+       (Vliw_vp.Experiments.recovery_sensitivity ~exec
           Vp_workload.Spec_model.compress))
 
 (* --- Part 2: Bechamel micro-benchmarks --- *)
@@ -183,4 +226,5 @@ let run_bechamel () =
 
 let () =
   full_run ();
+  emit_telemetry ();
   run_bechamel ()

@@ -62,15 +62,79 @@ let csv_t =
   let doc = "Emit CSV instead of the aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+(* --- execution context (Vp_exec): workers, cache, telemetry --- *)
+
+let jobs_t =
+  let doc =
+    "Worker domains for the experiment jobs. 1 (the default) runs \
+     sequentially in-process; any value produces byte-identical output."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_t =
+  let doc = "Disable the on-disk result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_t =
+  let doc = "Result-cache directory." in
+  Arg.(
+    value
+    & opt string Vp_exec.Store.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let telemetry_t =
+  let doc =
+    "Write the JSON telemetry summary (jobs, cache hits/misses, wall \
+     times, worker utilization) to $(docv); \"-\" means stderr."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+type exec_opts = {
+  jobs : int;
+  no_cache : bool;
+  cache_dir : string;
+  telemetry : string option;
+}
+
+let exec_opts_t =
+  let pack jobs no_cache cache_dir telemetry =
+    { jobs; no_cache; cache_dir; telemetry }
+  in
+  Term.(const pack $ jobs_t $ no_cache_t $ cache_dir_t $ telemetry_t)
+
+let make_exec (o : exec_opts) =
+  let store =
+    if o.no_cache then None
+    else Some (Vp_exec.Store.create ~dir:o.cache_dir ())
+  in
+  Vp_exec.Context.create ~jobs:o.jobs ?store
+    ~progress:(Vp_exec.Progress.create ()) ()
+
+let emit_telemetry (o : exec_opts) (exec : Vp_exec.Context.t) =
+  match o.telemetry with
+  | None -> ()
+  | Some dest ->
+      let json = Vp_exec.Progress.json_summary exec.progress in
+      if dest = "-" then Printf.eprintf "%s\n%!" json
+      else
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (json ^ "\n"))
+
 let with_setup f =
-  let run width seed threshold names =
+  let run width seed threshold names exec_opts =
     match models_of_names names with
     | Error (`Msg m) -> `Error (false, m)
     | Ok models ->
-        f ~config:(config ~width ~seed ~threshold) ~models;
+        let exec = make_exec exec_opts in
+        f ~config:(config ~width ~seed ~threshold) ~exec ~models;
+        emit_telemetry exec_opts exec;
         `Ok ()
   in
-  Term.(ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t))
+  Term.(
+    ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ exec_opts_t))
 
 (* --- commands --- *)
 
@@ -82,7 +146,7 @@ let example_cmd =
     Term.(const run $ const ())
 
 let summary_cmd =
-  let f ~config ~models =
+  let f ~config ~exec:_ ~models =
     List.iter
       (fun model ->
         let p = Vliw_vp.Pipeline.run ~config model in
@@ -104,7 +168,7 @@ let summary_cmd =
     (with_setup f)
 
 let profile_cmd =
-  let f ~config ~models =
+  let f ~config ~exec:_ ~models =
     List.iter
       (fun model ->
         let workload =
@@ -168,41 +232,50 @@ let schedule_cmd =
        $ dot_t))
 
 let table_cmd name ~doc render =
-  let run width seed threshold names csv =
+  let run width seed threshold names csv exec_opts =
     match models_of_names names with
     | Error (`Msg m) -> `Error (false, m)
     | Ok models ->
         let config = config ~width ~seed ~threshold in
         let format = if csv then `Csv else `Ascii in
-        print_string (render ~format (Vliw_vp.Experiments.run_all ~config models));
+        let exec = make_exec exec_opts in
+        print_string
+          (render ~format (Vliw_vp.Experiments.run_all ~config ~exec models));
+        emit_telemetry exec_opts exec;
         `Ok ()
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t))
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t
+       $ exec_opts_t))
 
 let table4_cmd =
-  let run width seed threshold names csv =
+  let run width seed threshold names csv exec_opts =
     match models_of_names names with
     | Error (`Msg m) -> `Error (false, m)
     | Ok models ->
         let config = config ~width ~seed ~threshold in
         let format = if csv then `Csv else `Ascii in
+        let exec = make_exec exec_opts in
         print_string
           (Vliw_vp.Experiments.render_table4 ~format
-             (Vliw_vp.Experiments.table4 ~config models));
+             (Vliw_vp.Experiments.table4 ~config ~exec models));
+        emit_telemetry exec_opts exec;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Reproduce Table 4 (issue width 4 vs 8)")
     Term.(
-      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t))
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ csv_t
+       $ exec_opts_t))
 
 let regions_cmd =
-  let f ~config ~models =
+  let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Experiments.render_regions
-         (Vliw_vp.Experiments.regions ~config models))
+         (Vliw_vp.Experiments.regions ~config ~exec models))
   in
   Cmd.v
     (Cmd.info "regions"
@@ -217,7 +290,7 @@ let ablate_cmd =
     in
     Arg.(value & opt string "threshold" & info [ "sweep" ] ~docv:"NAME" ~doc)
   in
-  let run width seed threshold names sweep =
+  let run width seed threshold names sweep exec_opts =
     match models_of_names names with
     | Error (`Msg m) -> `Error (false, m)
     | Ok models -> (
@@ -236,6 +309,7 @@ let ablate_cmd =
         with
         | None -> `Error (false, Printf.sprintf "unknown sweep %S" sweep)
         | Some settings ->
+            let exec = make_exec exec_opts in
             List.iter
               (fun model ->
                 print_string
@@ -243,21 +317,24 @@ let ablate_cmd =
                      ~title:
                        (Printf.sprintf "%s: %s sweep"
                           model.Vp_workload.Spec_model.name sweep)
-                     (Vliw_vp.Experiments.ablate ~config model settings));
+                     (Vliw_vp.Experiments.ablate ~config ~exec model settings));
                 print_newline ())
               models;
+            emit_telemetry exec_opts exec;
             `Ok ())
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablation sweeps over the design's knobs")
     Term.(
-      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ sweep_t))
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ sweep_t
+       $ exec_opts_t))
 
 let stability_cmd =
-  let f ~config ~models =
+  let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Experiments.render_stability
-         (Vliw_vp.Experiments.stability ~config models))
+         (Vliw_vp.Experiments.stability ~config ~exec models))
   in
   Cmd.v
     (Cmd.info "stability"
@@ -265,10 +342,10 @@ let stability_cmd =
     (with_setup f)
 
 let overlap_cmd =
-  let f ~config ~models =
+  let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Experiments.render_overlap
-         (Vliw_vp.Experiments.overlap_validation ~config models))
+         (Vliw_vp.Experiments.overlap_validation ~config ~exec models))
   in
   Cmd.v
     (Cmd.info "overlap"
@@ -277,10 +354,10 @@ let overlap_cmd =
     (with_setup f)
 
 let hyperblocks_cmd =
-  let f ~config ~models =
+  let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Experiments.render_hyperblocks
-         (Vliw_vp.Experiments.hyperblocks ~config models))
+         (Vliw_vp.Experiments.hyperblocks ~config ~exec models))
   in
   Cmd.v
     (Cmd.info "hyperblocks"
@@ -290,7 +367,7 @@ let hyperblocks_cmd =
     (with_setup f)
 
 let hardware_cmd =
-  let f ~config ~models =
+  let f ~config ~exec:_ ~models =
     print_string
       (Vliw_vp.Trace_sim.render
          (List.map
@@ -486,37 +563,39 @@ let report_cmd =
     let doc = "Write the markdown report to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run width seed threshold names out =
+  let run width seed threshold names out exec_opts =
     match models_of_names names with
     | Error (`Msg m) -> `Error (false, m)
-    | Ok models -> (
+    | Ok models ->
         let config = config ~width ~seed ~threshold in
-        match out with
+        let exec = make_exec exec_opts in
+        (match out with
         | Some path ->
-            Vliw_vp.Report.write_file ~config ~models ~path ();
-            Printf.printf "report written to %s
-" path;
-            `Ok ()
+            Vliw_vp.Report.write_file ~config ~exec ~models ~path ();
+            Printf.printf "report written to %s\n" path
         | None ->
-            print_string (Vliw_vp.Report.generate ~config ~models ());
-            `Ok ())
+            print_string (Vliw_vp.Report.generate ~config ~exec ~models ()));
+        emit_telemetry exec_opts exec;
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Generate the full evaluation as one markdown document")
     Term.(
-      ret (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ out_t))
+      ret
+        (const run $ width_t $ seed_t $ threshold_t $ benchmarks_t $ out_t
+       $ exec_opts_t))
 
 let all_cmd =
-  let f ~config ~models =
-    let summaries = Vliw_vp.Experiments.run_all ~config models in
+  let f ~config ~exec ~models =
+    let summaries = Vliw_vp.Experiments.run_all ~config ~exec models in
     print_string (Vliw_vp.Experiments.render_table2 summaries);
     print_newline ();
     print_string (Vliw_vp.Experiments.render_table3 summaries);
     print_newline ();
     print_string
       (Vliw_vp.Experiments.render_table4
-         (Vliw_vp.Experiments.table4 ~config models));
+         (Vliw_vp.Experiments.table4 ~config ~exec models));
     print_newline ();
     print_string (Vliw_vp.Experiments.render_figure8 summaries);
     print_newline ();
@@ -524,11 +603,11 @@ let all_cmd =
     print_newline ();
     print_string
       (Vliw_vp.Experiments.render_regions
-         (Vliw_vp.Experiments.regions ~config models));
+         (Vliw_vp.Experiments.regions ~config ~exec models));
     print_newline ();
     print_string
       (Vliw_vp.Experiments.render_overlap
-         (Vliw_vp.Experiments.overlap_validation ~config models));
+         (Vliw_vp.Experiments.overlap_validation ~config ~exec models));
     print_newline ();
     Format.printf "%a@." Vliw_vp.Example.describe ()
   in
@@ -575,4 +654,18 @@ let main_cmd =
       all_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit-code hygiene: simulator failures and orchestration failures exit
+   non-zero with a one-line diagnostic on stderr rather than dumping a raw
+   backtrace. (Bad CLI flags already exit 124 via cmdliner.) *)
+let () =
+  let fail fmt = Printf.kfprintf (fun _ -> exit 2) stderr ("vliw_vp: " ^^ fmt ^^ "\n") in
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Vp_engine.Dual_engine.Deadlock m ->
+      fail "simulator deadlock: %s" m
+  | exception Vp_engine.Sequence_engine.Deadlock m ->
+      fail "simulator deadlock: %s" m
+  | exception Vp_exec.Context.Job_failed { key; label; message } ->
+      fail "job %s failed (key %s): %s" label key message
+  | exception Vp_exec.Cancel.Cancelled m -> fail "cancelled: %s" m
+  | exception Sys_error m -> fail "%s" m

@@ -169,7 +169,34 @@ let summarize (p : Pipeline.t) =
 
 let run_benchmark ?config model = summarize (Pipeline.run ?config model)
 
-let run_all ?config models = List.map (run_benchmark ?config) models
+(* --- Orchestration (Vp_exec) ---
+
+   Every experiment entry point below fans its independent simulations out
+   through an execution context: worker domains, an optional
+   content-addressed result store, telemetry. The default context is
+   sequential and storeless, which replays the jobs in submission order in
+   the calling domain — bit-identical to the historical [List.map] code. *)
+
+let job_key ~kind ~(config : Config.t) payload =
+  (* Content address of one experiment result: the experiment kind, the
+     full benchmark model (not just its name — custom models must not
+     collide), the full configuration and any extra payload, digested over
+     their [Marshal] bytes. [Closures] is required because benchmark models
+     embed value-stream generators; closure serialization is stable within
+     one binary, which is exactly the cache's validity domain (the store's
+     version header is the executable digest). *)
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (kind, payload, config) [ Marshal.Closures ]))
+
+let bench_job ~config (model : Vp_workload.Spec_model.t) =
+  Vp_exec.Job.make
+    ~label:("bench:" ^ model.Vp_workload.Spec_model.name)
+    ~key:(job_key ~kind:"benchmark" ~config model)
+    (fun _ctx -> run_benchmark ~config model)
+
+let run_all ?(config = Config.default) ?(exec = Vp_exec.Context.sequential)
+    models =
+  Vp_exec.Context.map_exn exec (List.map (bench_job ~config) models)
 
 let cell = Vp_util.Table.cell_f
 
@@ -240,21 +267,33 @@ type table4_row = {
   wide_ratio : float;
 }
 
-let table4 ?(config = Config.default) ?(narrow = 4) ?(wide = 8) models =
-  List.map
-    (fun model ->
-      let at width =
-        run_benchmark ~config:(Config.with_width width config) model
-      in
-      let n = at narrow and w = at wide in
-      {
-        bench = model.Vp_workload.Spec_model.name;
-        narrow_fraction = n.fractions.best;
-        narrow_ratio = n.ratios.best;
-        wide_fraction = w.fractions.best;
-        wide_ratio = w.ratios.best;
-      })
-    models
+let table4 ?(config = Config.default) ?(exec = Vp_exec.Context.sequential)
+    ?(narrow = 4) ?(wide = 8) models =
+  (* One job per (benchmark, width); a width job shares its cache entry
+     with [run_all] at the same configuration. *)
+  let specs =
+    List.concat_map
+      (fun model ->
+        List.map
+          (fun width -> bench_job ~config:(Config.with_width width config) model)
+          [ narrow; wide ])
+      models
+  in
+  let rec pair models results =
+    match (models, results) with
+    | [], [] -> []
+    | model :: models, n :: w :: results ->
+        {
+          bench = model.Vp_workload.Spec_model.name;
+          narrow_fraction = n.fractions.best;
+          narrow_ratio = n.ratios.best;
+          wide_fraction = w.fractions.best;
+          wide_ratio = w.ratios.best;
+        }
+        :: pair models results
+    | _ -> invalid_arg "table4: result/model mismatch"
+  in
+  pair models (Vp_exec.Context.map_exn exec specs)
 
 let render_table4 ?format rows =
   let table =
@@ -357,6 +396,7 @@ type region_row = {
 }
 
 let regions ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential)
     ?(params = Vp_region.Superblock.default_params) models =
   (* A region holds several blocks' worth of loads, so the per-block
      speculation budget scales with the region size (the base experiments
@@ -379,41 +419,48 @@ let regions ?(config = Config.default)
         };
     }
   in
-  List.map
-    (fun model ->
-      let workload =
-        Vp_workload.Workload.generate ~seed:config.Config.seed model
-      in
-      let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
-      let sb_program, traces =
-        Vp_region.Superblock.form ~seed:config.seed workload cfg params
-      in
-      let base =
-        Pipeline.run_program ~config workload
-          (Vp_workload.Workload.program workload)
-      in
-      let region = Pipeline.run_program ~config:region_config workload sb_program in
-      let stats p = Pipeline.stats p in
-      let multi =
-        List.filter
-          (fun (t : Vp_region.Superblock.trace) -> List.length t.blocks >= 2)
-          traces
-      in
-      {
-        region_bench = model.Vp_workload.Spec_model.name;
-        base_ratio = (Vp_metrics.Summary.table3 (stats base)).best;
-        region_ratio = (Vp_metrics.Summary.table3 (stats region)).best;
-        base_speedup = Vp_metrics.Summary.expected_speedup (stats base);
-        region_speedup = Vp_metrics.Summary.expected_speedup (stats region);
-        formed_traces = List.length multi;
-        mean_trace_blocks =
-          Vp_util.Stats.mean
-            (List.map
-               (fun (t : Vp_region.Superblock.trace) ->
-                 float_of_int (List.length t.blocks))
-               multi);
-      })
-    models
+  let row (model : Vp_workload.Spec_model.t) =
+    let workload =
+      Vp_workload.Workload.generate ~seed:config.Config.seed model
+    in
+    let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
+    let sb_program, traces =
+      Vp_region.Superblock.form ~seed:config.seed workload cfg params
+    in
+    let base =
+      Pipeline.run_program ~config workload
+        (Vp_workload.Workload.program workload)
+    in
+    let region = Pipeline.run_program ~config:region_config workload sb_program in
+    let stats p = Pipeline.stats p in
+    let multi =
+      List.filter
+        (fun (t : Vp_region.Superblock.trace) -> List.length t.blocks >= 2)
+        traces
+    in
+    {
+      region_bench = model.Vp_workload.Spec_model.name;
+      base_ratio = (Vp_metrics.Summary.table3 (stats base)).best;
+      region_ratio = (Vp_metrics.Summary.table3 (stats region)).best;
+      base_speedup = Vp_metrics.Summary.expected_speedup (stats base);
+      region_speedup = Vp_metrics.Summary.expected_speedup (stats region);
+      formed_traces = List.length multi;
+      mean_trace_blocks =
+        Vp_util.Stats.mean
+          (List.map
+             (fun (t : Vp_region.Superblock.trace) ->
+               float_of_int (List.length t.blocks))
+             multi);
+    }
+  in
+  Vp_exec.Context.map_exn exec
+    (List.map
+       (fun (model : Vp_workload.Spec_model.t) ->
+         Vp_exec.Job.make
+           ~label:("regions:" ^ model.Vp_workload.Spec_model.name)
+           ~key:(job_key ~kind:"regions" ~config (model, params))
+           (fun _ctx -> row model))
+       models)
 
 let render_regions ?format rows =
   let table =
@@ -457,9 +504,9 @@ type overlap_row = {
   sequence_ok : bool;  (** per-instance architectural equivalence held *)
 }
 
-let overlap_validation ?(config = Config.default) ?(executions = 400) models =
-  List.map
-    (fun model ->
+let overlap_validation ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential) ?(executions = 400) models =
+  let row model =
       let p = Pipeline.run ~config model in
       let rng = Vp_util.Rng.create config.Config.seed in
       let rng = Vp_util.Rng.split_named rng "overlap" in
@@ -509,8 +556,16 @@ let overlap_validation ?(config = Config.default) ?(executions = 400) models =
           List.fold_left (fun a (_, _, d) -> a + d) 0 items_with_bounds;
         sequence_stalls = r.stall_cycles;
         sequence_ok = r.state_ok;
-      })
-    models
+      }
+  in
+  Vp_exec.Context.map_exn exec
+    (List.map
+       (fun (model : Vp_workload.Spec_model.t) ->
+         Vp_exec.Job.make
+           ~label:("overlap:" ^ model.Vp_workload.Spec_model.name)
+           ~key:(job_key ~kind:"overlap" ~config (model, executions))
+           (fun _ctx -> row model))
+       models)
 
 let render_overlap ?format rows =
   let table =
@@ -552,9 +607,9 @@ type hyperblock_row = {
 }
 
 let hyperblocks ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential)
     ?(params = Vp_region.Hyperblock.default_params) models =
-  List.map
-    (fun model ->
+  let row model =
       let workload =
         Vp_workload.Workload.generate ~seed:config.Config.seed model
       in
@@ -577,8 +632,16 @@ let hyperblocks ?(config = Config.default)
         hyper_speedup =
           Vp_metrics.Summary.expected_speedup (Pipeline.stats hyper);
         hyper_formed = formed;
-      })
-    models
+      }
+  in
+  Vp_exec.Context.map_exn exec
+    (List.map
+       (fun (model : Vp_workload.Spec_model.t) ->
+         Vp_exec.Job.make
+           ~label:("hyperblocks:" ^ model.Vp_workload.Spec_model.name)
+           ~key:(job_key ~kind:"hyperblocks" ~config (model, params))
+           (fun _ctx -> row model))
+       models)
 
 let render_hyperblocks ?format rows =
   let table =
@@ -620,15 +683,37 @@ type stability_row = {
   t3_sd : float;
 }
 
-let stability ?(config = Config.default) ?(seeds = [ 42; 7; 1234 ]) models =
+let stability ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential) ?(seeds = [ 42; 7; 1234 ]) models =
+  (* One job per (benchmark, seed); shares cache entries with [run_all]
+     whenever a seed coincides with the configured one. *)
+  let specs =
+    List.concat_map
+      (fun model ->
+        List.map
+          (fun seed -> bench_job ~config:{ config with seed } model)
+          seeds)
+      models
+  in
+  let results = ref (Vp_exec.Context.map_exn exec specs) in
+  let take n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !results with
+        | [] -> invalid_arg "stability: result/model mismatch"
+        | r :: rest ->
+            results := rest;
+            go (n - 1) (r :: acc)
+    in
+    go n []
+  in
   List.map
     (fun model ->
       let per_seed =
         List.map
-          (fun seed ->
-            let s = run_benchmark ~config:{ config with seed } model in
-            (s.fractions.best, s.ratios.best))
-          seeds
+          (fun (s : benchmark_summary) -> (s.fractions.best, s.ratios.best))
+          (take (List.length seeds))
       in
       let t2s = List.map fst per_seed and t3s = List.map snd per_seed in
       {
@@ -665,12 +750,21 @@ let render_stability ?format rows =
 (* --- Recovery sensitivity --- *)
 
 let recovery_sensitivity ?(config = Config.default)
-    ?(penalties = [ 0; 1; 2; 4; 8 ]) model =
-  List.map
-    (fun branch_penalty ->
-      let s = run_benchmark ~config:{ config with branch_penalty } model in
-      (branch_penalty, s.comparison))
-    penalties
+    ?(exec = Vp_exec.Context.sequential) ?(penalties = [ 0; 1; 2; 4; 8 ])
+    model =
+  let specs =
+    List.map
+      (fun branch_penalty ->
+        let config = { config with branch_penalty } in
+        Vp_exec.Job.make
+          ~label:(Printf.sprintf "recovery:penalty%d" branch_penalty)
+          ~key:(job_key ~kind:"recovery" ~config model)
+          (fun _ctx ->
+            let s = run_benchmark ~config model in
+            (branch_penalty, s.comparison)))
+      penalties
+  in
+  Vp_exec.Context.map_exn exec specs
 
 let render_recovery_sensitivity ?format ~bench rows =
   let table =
@@ -709,19 +803,27 @@ type ablation_point = {
   speculated : int;
 }
 
-let ablate ?(config = Config.default) model settings =
-  List.map
-    (fun (setting, tweak) ->
-      let s = run_benchmark ~config:(tweak config) model in
-      {
-        setting;
-        t2_best = s.fractions.best;
-        t3_best = s.ratios.best;
-        t3_worst = s.ratios.worst;
-        speedup = Vp_metrics.Summary.expected_speedup s.stats;
-        speculated = s.speculated_blocks;
-      })
-    settings
+let ablate ?(config = Config.default) ?(exec = Vp_exec.Context.sequential)
+    model settings =
+  let specs =
+    List.map
+      (fun (setting, tweak) ->
+        let config = tweak config in
+        Vp_exec.Job.make ~label:("ablate:" ^ setting)
+          ~key:(job_key ~kind:"ablate" ~config (model, setting))
+          (fun _ctx ->
+            let s = run_benchmark ~config model in
+            {
+              setting;
+              t2_best = s.fractions.best;
+              t3_best = s.ratios.best;
+              t3_worst = s.ratios.worst;
+              speedup = Vp_metrics.Summary.expected_speedup s.stats;
+              speculated = s.speculated_blocks;
+            }))
+      settings
+  in
+  Vp_exec.Context.map_exn exec specs
 
 let with_policy f (c : Config.t) = { c with policy = f c.policy }
 

@@ -48,7 +48,17 @@ val run_benchmark :
   ?config:Config.t -> Vp_workload.Spec_model.t -> benchmark_summary
 
 val run_all :
-  ?config:Config.t -> Vp_workload.Spec_model.t list -> benchmark_summary list
+  ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
+  Vp_workload.Spec_model.t list ->
+  benchmark_summary list
+(** Every [?exec]-taking entry point submits its independent simulations as
+    keyed jobs through {!Vp_exec.Context.map_exn}: worker domains run them
+    concurrently, the context's result store skips recomputation of
+    anything already cached, and the context's progress sink accumulates
+    telemetry. The default context is sequential, storeless and silent —
+    bit-identical to the historical in-process evaluation. A failed or
+    watchdog-killed job raises {!Vp_exec.Context.Job_failed}. *)
 
 val render_table2 :
   ?format:[ `Ascii | `Csv ] -> benchmark_summary list -> string
@@ -70,6 +80,7 @@ type table4_row = {
 
 val table4 :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?narrow:int ->
   ?wide:int ->
   Vp_workload.Spec_model.t list ->
@@ -105,6 +116,7 @@ type region_row = {
 
 val regions :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?params:Vp_region.Superblock.params ->
   Vp_workload.Spec_model.t list ->
   region_row list
@@ -126,6 +138,7 @@ type overlap_row = {
 
 val overlap_validation :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?executions:int ->
   Vp_workload.Spec_model.t list ->
   overlap_row list
@@ -149,6 +162,7 @@ type hyperblock_row = {
 
 val hyperblocks :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?params:Vp_region.Hyperblock.params ->
   Vp_workload.Spec_model.t list ->
   hyperblock_row list
@@ -170,6 +184,7 @@ type stability_row = {
 
 val stability :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?seeds:int list ->
   Vp_workload.Spec_model.t list ->
   stability_row list
@@ -179,6 +194,7 @@ val render_stability : ?format:[ `Ascii | `Csv ] -> stability_row list -> string
 
 val recovery_sensitivity :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   ?penalties:int list ->
   Vp_workload.Spec_model.t ->
   (int * comparison) list
@@ -206,6 +222,7 @@ type ablation_point = {
 
 val ablate :
   ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
   Vp_workload.Spec_model.t ->
   (string * (Config.t -> Config.t)) list ->
   ablation_point list

@@ -1,0 +1,28 @@
+type t = { flag : string option Atomic.t; deadline : float option }
+
+exception Cancelled of string
+
+let create ?deadline () = { flag = Atomic.make None; deadline }
+
+let none = create ()
+
+let cancel t ~reason =
+  ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let timed_out t =
+  match t.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let cancelled t = Atomic.get t.flag <> None
+
+let should_stop t = cancelled t || timed_out t
+
+let reason t = Atomic.get t.flag
+
+let check t =
+  match Atomic.get t.flag with
+  | Some r -> raise (Cancelled r)
+  | None ->
+      if timed_out t then
+        raise (Cancelled "watchdog deadline exceeded")

@@ -1,0 +1,44 @@
+(** Cooperative cancellation tokens.
+
+    A token is handed to every job the {!Pool} runs. Long-running jobs are
+    expected to call {!check} (or poll {!should_stop}) at convenient points
+    — once per simulated block, per sweep setting, per Monte-Carlo draw.
+    When the pool's watchdog deadline has passed, or the token has been
+    cancelled explicitly, {!check} raises {!Cancelled} and the pool turns
+    the job into a reported [Timed_out]/[Failed] outcome instead of letting
+    it run away.
+
+    Tokens are safe to share across domains: the cancellation flag is an
+    [Atomic.t] and the deadline is immutable. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check}. The string is the cancellation reason (for a
+    watchdog expiry, a description of the exceeded budget). *)
+
+val create : ?deadline:float -> unit -> t
+(** A fresh token. [deadline] is an absolute [Unix.gettimeofday] instant
+    after which the token reports timeout; omitted = no deadline. *)
+
+val none : t
+(** A shared token that never cancels — for direct, unmonitored calls. *)
+
+val cancel : t -> reason:string -> unit
+(** Request cancellation. Idempotent; the first reason wins. *)
+
+val timed_out : t -> bool
+(** The deadline (if any) has passed. *)
+
+val cancelled : t -> bool
+(** {!cancel} has been called (independently of the deadline). *)
+
+val should_stop : t -> bool
+(** [cancelled t || timed_out t] — the polling form for code that prefers
+    to unwind manually rather than via the {!Cancelled} exception. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if the job should stop, otherwise return unit. *)
+
+val reason : t -> string option
+(** The explicit cancellation reason, if any. *)

@@ -1,0 +1,44 @@
+(** The execution context the experiment layer threads through: how many
+    worker domains, which result cache (if any), where telemetry goes, and
+    the per-job watchdog budget.
+
+    {!map} is the one orchestration entry point: it wraps every job with a
+    {!Store} lookup (hit → the cached value, no recomputation; miss → run
+    the job, then cache), submits the batch to the {!Pool} and returns the
+    outcomes in submission order. {!map_exn} is the strict form the
+    experiment layer uses — the first failed or timed-out job raises
+    {!Job_failed} with its key and diagnostic, which the CLI turns into a
+    one-line stderr message and a non-zero exit. *)
+
+type t = {
+  jobs : int;  (** worker domains; 1 = sequential, bit-identical *)
+  store : Store.t option;  (** [None] disables caching *)
+  progress : Progress.t;
+  watchdog_s : float option;  (** per-job wall-clock budget *)
+}
+
+exception
+  Job_failed of {
+    key : string;
+    label : string;
+    message : string;  (** includes a ["timed out"] marker for watchdog kills *)
+  }
+
+val sequential : t
+(** One worker, no store, silent progress, no watchdog — the drop-in
+    replacement for the old sequential code paths. *)
+
+val create :
+  ?jobs:int ->
+  ?store:Store.t ->
+  ?progress:Progress.t ->
+  ?watchdog_s:float ->
+  unit ->
+  t
+(** Defaults: [jobs = 1], no store, silent progress, no watchdog. *)
+
+val map : t -> 'a Job.spec list -> 'a Job.outcome list
+
+val map_exn : t -> 'a Job.spec list -> 'a list
+(** All outcomes must be [Done]; raises {!Job_failed} on the first that is
+    not. *)

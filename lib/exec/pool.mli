@@ -1,0 +1,28 @@
+(** Fixed-size [Domain]-based worker pool.
+
+    [run ~jobs specs] executes every job and returns their outcomes in
+    submission order. With [jobs <= 1] (or a single job) everything runs
+    sequentially in the calling domain, in list order — the bit-identical
+    reference path. With [jobs > 1], [min jobs (length specs)] worker
+    domains drain a mutex/condition work queue; job results land in a
+    pre-sized slot array, so completion order never influences the returned
+    order.
+
+    Determinism: a job's {!Job.ctx} RNG is seeded from its key, so a job
+    draws the same random stream whichever worker runs it and wherever it
+    sat in the queue.
+
+    Watchdog: with [watchdog_s], each job gets a cancellation deadline that
+    many seconds after it starts. A job that honours its token (calls
+    {!Cancel.check} periodically) unwinds and is reported as
+    [Timed_out] — the pool keeps draining the remaining jobs either way.
+
+    Failure isolation: an exception inside one job becomes its [Failed]
+    outcome; other jobs are unaffected. *)
+
+val run :
+  ?watchdog_s:float ->
+  ?progress:Progress.t ->
+  jobs:int ->
+  'a Job.spec list ->
+  'a Job.outcome list

@@ -1,0 +1,64 @@
+(** Telemetry sink for a batch of jobs.
+
+    One [t] accumulates everything a run of the {!Pool} (and the {!Store}
+    lookups wrapped around it) wants to report: job state counts, cache
+    hits/misses/evictions, per-job wall times and aggregate worker
+    utilization. All recording entry points are mutex-protected and safe to
+    call from any domain.
+
+    Two renderings:
+    - {!render_line} — a one-line live status, repainted in place on stderr
+      while [live] is on (default: only when stderr is a terminal, so
+      redirected runs and tests stay byte-clean);
+    - {!json_summary} — a machine-readable summary for scripts and the
+      acceptance check ("a warm-cache rerun shows [misses = 0]"). *)
+
+type t
+
+type snapshot = {
+  queued : int;  (** jobs submitted over the sink's lifetime *)
+  running : int;
+  completed : int;  (** jobs that returned a value *)
+  failed : int;
+  timed_out : int;
+  cache_hits : int;
+  cache_misses : int;  (** store lookups that had to compute *)
+  corrupt_evicted : int;  (** cache entries evicted as unreadable *)
+  workers : int;  (** worker domains of the last pool run (1 = sequential) *)
+  wall_total : float;  (** seconds since [create] *)
+  job_wall_total : float;  (** summed per-job wall seconds *)
+  job_wall_max : float;
+}
+
+val create : ?live:bool -> unit -> t
+(** [live] defaults to [Unix.isatty Unix.stderr]. *)
+
+val silent : unit -> t
+(** Never paints; still counts. *)
+
+(** {1 Recording} *)
+
+val add_queued : t -> int -> unit
+val job_started : t -> label:string -> unit
+val job_done : t -> wall:float -> unit
+val job_failed : t -> wall:float -> unit
+val job_timed_out : t -> wall:float -> unit
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val corrupt_evicted : t -> unit
+val set_workers : t -> int -> unit
+
+val finish : t -> unit
+(** Clear the live line (no-op when not live). Call once after a batch. *)
+
+(** {1 Reading} *)
+
+val snapshot : t -> snapshot
+
+val render_line : t -> string
+(** e.g. ["jobs 12/16 (3 running) | cache 5 hit 11 miss | 8.2s"]. *)
+
+val json_summary : t -> string
+(** One JSON object: [{"jobs": {...}, "cache": {...}, "wall_s": {...},
+    "workers": {...}}]. Utilization is summed job wall time over
+    [workers * wall_total], clamped to [0, 1]. *)

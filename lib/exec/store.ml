@@ -1,0 +1,106 @@
+type t = { dir : string; version : string }
+
+type 'a lookup = Hit of 'a | Miss | Evicted
+
+let magic = "VPEXEC-CACHE 1"
+
+let default_dir = "_cache"
+
+(* The executable digest makes stale entries self-invalidating: a rebuilt
+   binary reads a version mismatch, evicts and recomputes. It also makes
+   [Marshal.Closures] payloads safe — they are only ever read back by the
+   bit-identical binary that wrote them. *)
+let default_version =
+  lazy
+    (let exe =
+       try Digest.to_hex (Digest.file Sys.executable_name)
+       with Sys_error _ -> "unknown-exe"
+     in
+     Printf.sprintf "%s-ocaml%s" exe Sys.ocaml_version)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+        raise
+          (Sys_error
+             (Printf.sprintf "cannot create cache directory %s: %s" d
+                (Unix.error_message e)))
+  end
+
+let create ?version ~dir () =
+  let version =
+    match version with Some v -> v | None -> Lazy.force default_version
+  in
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "cache path %s is not a directory" dir));
+  { dir; version }
+
+let dir t = t.dir
+let version t = t.version
+
+let entry_path t ~key =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".bin")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [line_after s pos] returns [(line, pos_after_newline)]. *)
+let line_after s pos =
+  let nl = String.index_from s pos '\n' in
+  (String.sub s pos (nl - pos), nl + 1)
+
+exception Corrupt
+
+let decode t ~key raw =
+  try
+    let m, pos = line_after raw 0 in
+    if m <> magic then raise Corrupt;
+    let v, pos = line_after raw pos in
+    if v <> t.version then raise Corrupt;
+    let k, pos = line_after raw pos in
+    if k <> String.escaped key then raise Corrupt;
+    let digest, pos = line_after raw pos in
+    let payload = String.sub raw pos (String.length raw - pos) in
+    if Digest.to_hex (Digest.string payload) <> digest then raise Corrupt;
+    Marshal.from_string payload 0
+  with _ -> raise Corrupt
+
+let find t ~key =
+  let path = entry_path t ~key in
+  match read_file path with
+  | exception Sys_error _ -> Miss
+  | raw -> (
+      match decode t ~key raw with
+      | v -> Hit v
+      | exception Corrupt ->
+          (try Sys.remove path with Sys_error _ -> ());
+          Evicted)
+
+let put t ~key v =
+  match Marshal.to_string v [ Marshal.Closures ] with
+  | exception _ -> ()
+  | payload -> (
+      try
+        let tmp = Filename.temp_file ~temp_dir:t.dir "vpexec" ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc magic;
+            output_char oc '\n';
+            output_string oc t.version;
+            output_char oc '\n';
+            output_string oc (String.escaped key);
+            output_char oc '\n';
+            output_string oc (Digest.to_hex (Digest.string payload));
+            output_char oc '\n';
+            output_string oc payload);
+        Sys.rename tmp (entry_path t ~key)
+      with Sys_error _ -> ())

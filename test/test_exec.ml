@@ -1,0 +1,236 @@
+(* Tests for Vp_exec: pool determinism, store round-trips and corruption
+   recovery, watchdog timeouts, and the experiment-layer wiring. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* A throwaway directory per call; unique via pid + counter. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vp_exec_test_%d_%d" (Unix.getpid ()) !n)
+
+(* Small enough that a full experiment run is fast, large enough that the
+   tables carry non-trivial numbers. *)
+let small_config =
+  { Vliw_vp.Config.default with trace_length = 2_000; monte_carlo_draws = 16 }
+
+let small_models = [ Vp_workload.Spec_model.compress; Vp_workload.Spec_model.li ]
+
+let render ~exec () =
+  let summaries = Vliw_vp.Experiments.run_all ~config:small_config ~exec small_models in
+  Vliw_vp.Experiments.render_table2 summaries
+  ^ Vliw_vp.Experiments.render_table3 summaries
+
+(* --- Job --- *)
+
+let test_derived_seed () =
+  let s = Vp_exec.Job.derived_seed ~key:"alpha" in
+  checki "stable" s (Vp_exec.Job.derived_seed ~key:"alpha");
+  checkb "non-negative" true (s >= 0);
+  checkb "key-dependent" true (s <> Vp_exec.Job.derived_seed ~key:"beta")
+
+let test_job_rng_is_key_seeded () =
+  (* The same key draws the same stream whichever pool configuration runs
+     it; distinct keys draw distinct streams. *)
+  let draw key = Vp_exec.Job.make ~key (fun ctx -> Vp_util.Rng.bits64 ctx.rng) in
+  let seq = Vp_exec.Pool.run ~jobs:1 [ draw "a"; draw "b"; draw "c" ] in
+  let par = Vp_exec.Pool.run ~jobs:4 [ draw "a"; draw "b"; draw "c" ] in
+  let values outs = List.filter_map Vp_exec.Job.outcome_ok outs in
+  Alcotest.(check (list int64)) "jobs=1 = jobs=4" (values seq) (values par);
+  match values seq with
+  | [ a; b; _ ] -> checkb "distinct keys, distinct streams" true (a <> b)
+  | _ -> Alcotest.fail "expected three outcomes"
+
+(* --- Pool --- *)
+
+let test_pool_submission_order () =
+  let specs =
+    List.init 20 (fun i ->
+        Vp_exec.Job.make ~key:(string_of_int i) (fun _ctx -> i * i))
+  in
+  let expected = List.init 20 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      let got =
+        List.filter_map Vp_exec.Job.outcome_ok (Vp_exec.Pool.run ~jobs specs)
+      in
+      Alcotest.(check (list int)) "submission order" expected got)
+    [ 1; 3; 8 ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_pool_failure_isolation () =
+  let specs =
+    [
+      Vp_exec.Job.make ~key:"ok1" (fun _ -> 1);
+      Vp_exec.Job.make ~key:"boom" (fun _ -> failwith "boom");
+      Vp_exec.Job.make ~key:"ok2" (fun _ -> 2);
+    ]
+  in
+  let open Vp_exec.Job in
+  match Vp_exec.Pool.run ~jobs:2 specs with
+  | [ Done 1; Failed msg; Done 2 ] ->
+      checkb "diagnostic mentions the exception" true (contains ~sub:"boom" msg)
+  | _ -> Alcotest.fail "expected Done/Failed/Done in submission order"
+
+let test_pool_watchdog () =
+  (* The runaway job polls its token and is reported Timed_out; the quick
+     jobs around it still complete. *)
+  let runaway =
+    Vp_exec.Job.make ~key:"runaway" (fun ctx ->
+        let rec loop () =
+          Vp_exec.Cancel.check ctx.cancel;
+          Unix.sleepf 0.005;
+          loop ()
+        in
+        loop ())
+  in
+  let quick key = Vp_exec.Job.make ~key (fun _ -> 0) in
+  let outcomes =
+    Vp_exec.Pool.run ~watchdog_s:0.05 ~jobs:2
+      [ quick "q1"; runaway; quick "q2" ]
+  in
+  let open Vp_exec.Job in
+  match outcomes with
+  | [ Done 0; Timed_out _; Done 0 ] -> ()
+  | _ -> Alcotest.fail "expected Done/Timed_out/Done"
+
+let test_map_exn_raises () =
+  let exec = Vp_exec.Context.sequential in
+  match
+    Vp_exec.Context.map_exn exec
+      [ Vp_exec.Job.make ~key:"bad" (fun _ -> failwith "nope") ]
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Vp_exec.Context.Job_failed { key; _ } -> checks "key" "bad" key
+
+(* --- Store --- *)
+
+let test_store_round_trip () =
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  (match Vp_exec.Store.find store ~key:"k" with
+  | Vp_exec.Store.Miss -> ()
+  | _ -> Alcotest.fail "expected Miss on empty store");
+  Vp_exec.Store.put store ~key:"k" [ 1; 2; 3 ];
+  (match Vp_exec.Store.find store ~key:"k" with
+  | Vp_exec.Store.Hit v -> Alcotest.(check (list int)) "value" [ 1; 2; 3 ] v
+  | _ -> Alcotest.fail "expected Hit");
+  (* A key containing newlines must not confuse the header. *)
+  Vp_exec.Store.put store ~key:"line1\nline2" "payload";
+  match Vp_exec.Store.find store ~key:"line1\nline2" with
+  | Vp_exec.Store.Hit v -> checks "newline key" "payload" v
+  | _ -> Alcotest.fail "expected Hit for newline key"
+
+let test_store_evicts_corrupt () =
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  Vp_exec.Store.put store ~key:"k" 42;
+  let path = Vp_exec.Store.entry_path store ~key:"k" in
+  let oc = open_out path in
+  output_string oc "garbage, not a cache entry";
+  close_out oc;
+  (match Vp_exec.Store.find store ~key:"k" with
+  | Vp_exec.Store.Evicted -> ()
+  | _ -> Alcotest.fail "expected Evicted");
+  checkb "entry removed" false (Sys.file_exists path);
+  match Vp_exec.Store.find store ~key:"k" with
+  | Vp_exec.Store.Miss -> ()
+  | _ -> Alcotest.fail "expected Miss after eviction"
+
+let test_store_rejects_stale_version () =
+  let dir = fresh_dir () in
+  let old_store = Vp_exec.Store.create ~version:"v-old" ~dir () in
+  Vp_exec.Store.put old_store ~key:"k" 42;
+  let store = Vp_exec.Store.create ~version:"v-new" ~dir () in
+  match Vp_exec.Store.find store ~key:"k" with
+  | Vp_exec.Store.Evicted -> ()
+  | _ -> Alcotest.fail "expected stale-version entry to be evicted"
+
+(* --- Experiment wiring --- *)
+
+let test_experiments_parallel_determinism () =
+  let seq = render ~exec:Vp_exec.Context.sequential () in
+  let par = render ~exec:(Vp_exec.Context.create ~jobs:4 ()) () in
+  checks "jobs=1 = jobs=4" seq par
+
+let test_cache_round_trip () =
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  let cold_progress = Vp_exec.Progress.silent () in
+  let cold =
+    render
+      ~exec:(Vp_exec.Context.create ~store ~progress:cold_progress ())
+      ()
+  in
+  let cold_snap = Vp_exec.Progress.snapshot cold_progress in
+  checki "cold misses" (List.length small_models) cold_snap.cache_misses;
+  checki "cold hits" 0 cold_snap.cache_hits;
+  let warm_progress = Vp_exec.Progress.silent () in
+  let warm =
+    render
+      ~exec:(Vp_exec.Context.create ~store ~progress:warm_progress ())
+      ()
+  in
+  let warm_snap = Vp_exec.Progress.snapshot warm_progress in
+  checki "warm misses" 0 warm_snap.cache_misses;
+  checki "warm hits" (List.length small_models) warm_snap.cache_hits;
+  checks "cold = warm output" cold warm
+
+let test_cache_corruption_recovery () =
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  let reference =
+    render ~exec:(Vp_exec.Context.create ~store ()) ()
+  in
+  (* Smash every entry; the rerun must evict, recompute and still agree. *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then begin
+        let oc = open_out (Filename.concat (Vp_exec.Store.dir store) name) in
+        output_string oc "\x00\x01corrupt";
+        close_out oc
+      end)
+    (Sys.readdir (Vp_exec.Store.dir store));
+  let progress = Vp_exec.Progress.silent () in
+  let recovered =
+    render ~exec:(Vp_exec.Context.create ~store ~progress ()) ()
+  in
+  let snap = Vp_exec.Progress.snapshot progress in
+  checkb "evictions reported" true (snap.corrupt_evicted >= 1);
+  checki "no hits from corrupt entries" 0 snap.cache_hits;
+  checks "output unaffected" reference recovered
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vp_exec"
+    [
+      ( "job",
+        [
+          tc "derived seed" test_derived_seed;
+          tc "key-seeded rng" test_job_rng_is_key_seeded;
+        ] );
+      ( "pool",
+        [
+          tc "submission order" test_pool_submission_order;
+          tc "failure isolation" test_pool_failure_isolation;
+          tc "watchdog" test_pool_watchdog;
+          tc "map_exn raises" test_map_exn_raises;
+        ] );
+      ( "store",
+        [
+          tc "round trip" test_store_round_trip;
+          tc "evicts corrupt" test_store_evicts_corrupt;
+          tc "rejects stale version" test_store_rejects_stale_version;
+        ] );
+      ( "experiments",
+        [
+          tc "parallel determinism" test_experiments_parallel_determinism;
+          tc "cache round trip" test_cache_round_trip;
+          tc "corruption recovery" test_cache_corruption_recovery;
+        ] );
+    ]
