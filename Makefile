@@ -1,6 +1,6 @@
 # Convenience wrapper around dune. `make check` is what CI runs.
 
-.PHONY: all build test check fmt bench clean
+.PHONY: all build test check fmt bench bench-smoke clean
 
 all: build
 
@@ -21,8 +21,14 @@ fmt:
 
 check: build test
 
+# Full regeneration + Bechamel timings; machine-readable ns/run lands in
+# BENCH.json. bench-smoke is the seconds-scale CI variant (timings only,
+# reduced measurement budget).
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --json BENCH.json
+
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --json BENCH.json
 
 clean:
 	dune clean

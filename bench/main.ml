@@ -3,52 +3,60 @@
    Bechamel — one Test.make per paper artifact.
 
    Run with:  dune exec bench/main.exe
+              dune exec bench/main.exe -- --jobs 4 --json BENCH.json
+              dune exec bench/main.exe -- --smoke --json BENCH.json
 *)
 
 let line = String.make 72 '='
 
 let section title = Printf.printf "%s\n%s\n%s\n" line title line
 
-(* --- Execution context ---
+(* --- Flags ---
 
-   The harness accepts a tiny flag vocabulary so the regeneration half can
-   fan out over worker domains and reuse cached results:
+   The execution-context vocabulary (--jobs, --no-cache, --cache-dir,
+   --telemetry) is the shared one from [Vp_exec.Cli] — identical to the
+   vliw_vp driver's. On top of it the harness accepts:
 
-     dune exec bench/main.exe -- --jobs 4
-     dune exec bench/main.exe -- --jobs 4 --no-cache
-     dune exec bench/main.exe -- --cache-dir /tmp/vp-cache
+     --json PATH   write machine-readable BENCH.json (ns/run per test)
+     --smoke       skip the full regeneration and use a reduced Bechamel
+                   budget — a seconds-scale CI sanity run
 
-   Output is byte-identical whatever --jobs says; the telemetry summary
-   goes to stderr so it never perturbs the regenerated tables. *)
+   Output is byte-identical whatever --jobs says; telemetry goes to stderr
+   (or the --telemetry file) so it never perturbs the regenerated tables. *)
 
-let exec_context, emit_telemetry =
-  let jobs = ref 1 and cache = ref true and dir = ref Vp_exec.Store.default_dir in
-  let rec parse = function
-    | [] -> ()
-    | "--jobs" :: n :: rest ->
-        jobs := int_of_string n;
-        parse rest
-    | "--no-cache" :: rest ->
-        cache := false;
-        parse rest
-    | "--cache-dir" :: d :: rest ->
-        dir := d;
-        parse rest
-    | arg :: _ ->
-        Printf.eprintf
-          "bench: unknown argument %s (expected --jobs N, --no-cache, \
-           --cache-dir DIR)\n"
-          arg;
-        exit 2
+let exec_opts, json_path, smoke =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fail msg =
+    Printf.eprintf
+      "bench: %s\n(expected: %s, --json PATH, --smoke)\n" msg Vp_exec.Cli.usage;
+    exit 2
   in
-  parse (List.tl (Array.to_list Sys.argv));
-  let store = if !cache then Some (Vp_exec.Store.create ~dir:!dir ()) else None in
-  let progress = Vp_exec.Progress.create () in
-  let exec = Vp_exec.Context.create ~jobs:!jobs ?store ~progress () in
-  ( exec,
-    fun () ->
-      Printf.eprintf "telemetry: %s\n%!" (Vp_exec.Progress.json_summary progress)
-  )
+  match Vp_exec.Cli.parse args with
+  | Error msg -> fail msg
+  | Ok (opts, leftover) ->
+      let json = ref None and smoke = ref false in
+      let rec go = function
+        | [] -> ()
+        | "--json" :: p :: rest ->
+            json := Some p;
+            go rest
+        | [ "--json" ] -> fail "--json requires a value"
+        | "--smoke" :: rest ->
+            smoke := true;
+            go rest
+        | arg :: _ -> fail (Printf.sprintf "unknown argument %s" arg)
+      in
+      go leftover;
+      (opts, !json, !smoke)
+
+let exec_context = Vp_exec.Cli.context exec_opts
+
+let emit_telemetry () =
+  match exec_opts.Vp_exec.Cli.telemetry with
+  | Some _ -> Vp_exec.Cli.emit_telemetry exec_opts exec_context
+  | None ->
+      Printf.eprintf "telemetry: %s\n%!"
+        (Vp_exec.Progress.json_summary exec_context.progress)
 
 (* --- Part 1: regenerate the paper's evaluation --- *)
 
@@ -138,6 +146,17 @@ let kernel_machine = Vp_machine.Descr.playdoh ~width:4
 let kernel_spec = Vliw_vp.Example.spec ()
 let kernel_reference = Vliw_vp.Example.reference ()
 
+(* The compile-once/run-many split: compile and arena are built once, the
+   timed body replays one scenario — the steady-state cost the pipeline's
+   scenario batches pay per outcome vector. [kernel:dual-engine-oracle]
+   times the interpreting engine on identical inputs, so the BENCH.json
+   pair records the kernel's speedup. *)
+let kernel_compiled =
+  Vp_engine.Compiled.compile kernel_spec ~reference:kernel_reference
+    ~live_in:Vliw_vp.Pipeline.live_in
+
+let kernel_arena = Vp_engine.Compiled.Arena.create ()
+
 let tests =
   let open Bechamel in
   [
@@ -187,8 +206,16 @@ let tests =
              kernel_block));
     Test.make ~name:"kernel:dual-engine-run"
       (Staged.stage (fun () ->
+           Vp_engine.Compiled.run_scenario kernel_compiled kernel_arena
+             ~outcomes:[| false; true |]));
+    Test.make ~name:"kernel:dual-engine-oracle"
+      (Staged.stage (fun () ->
            Vp_engine.Dual_engine.run kernel_spec ~reference:kernel_reference
              ~live_in:Vliw_vp.Pipeline.live_in ~outcomes:[| false; true |]));
+    Test.make ~name:"kernel:compile"
+      (Staged.stage (fun () ->
+           Vp_engine.Compiled.compile kernel_spec ~reference:kernel_reference
+             ~live_in:Vliw_vp.Pipeline.live_in));
     Test.make ~name:"kernel:stride-predictor"
       (Staged.stage
          (let values = List.init 512 (fun i -> 7 * i) in
@@ -205,7 +232,12 @@ let run_bechamel () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ()
+    else
+      (* 1s per target: the experiment-level targets run ~10-50 ms each, so
+         a 0.25s quota left the OLS with a handful of samples and ±10%
+         run-to-run swings — too noisy to track BENCH.json deltas. *)
+      Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
   in
   let raw =
     Benchmark.all cfg [ instance ]
@@ -215,16 +247,69 @@ let run_bechamel () =
   section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result -> rows := (name, ols_result) :: !rows)
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Some est
+        | Some _ | None -> None
+      in
+      rows := (name, est) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, ols_result) ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
-    (List.sort compare !rows)
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-40s %14.0f ns/run\n" name est
+      | None -> Printf.printf "%-40s (no estimate)\n" name)
+    rows;
+  (match
+     ( List.assoc_opt "vliw-vp kernel:dual-engine-run" rows,
+       List.assoc_opt "vliw-vp kernel:dual-engine-oracle" rows )
+   with
+  | Some (Some kernel), Some (Some oracle) when kernel > 0.0 ->
+      Printf.printf "%-40s %14.1fx\n" "kernel speedup (oracle/compiled)"
+        (oracle /. kernel)
+  | _ -> ());
+  rows
+
+(* Machine-readable results: one object per Bechamel test. Names contain
+   only ASCII identifier-ish characters plus "()/:" — escape the JSON
+   specials anyway. *)
+let write_json path rows =
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"results\": [\n";
+      List.iteri
+        (fun i (name, est) ->
+          output_string oc
+            (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+               (escape name)
+               (match est with
+               | Some e -> Printf.sprintf "%.1f" e
+               | None -> "null")
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.eprintf "bench: wrote %s\n%!" path
 
 let () =
-  full_run ();
-  emit_telemetry ();
-  run_bechamel ()
+  if not smoke then begin
+    full_run ();
+    emit_telemetry ()
+  end;
+  let rows = run_bechamel () in
+  Option.iter (fun path -> write_json path rows) json_path

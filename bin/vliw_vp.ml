@@ -90,38 +90,16 @@ let telemetry_t =
   Arg.(
     value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
-type exec_opts = {
-  jobs : int;
-  no_cache : bool;
-  cache_dir : string;
-  telemetry : string option;
-}
-
+(* The flag vocabulary and its semantics live in [Vp_exec.Cli], shared with
+   the bench harness; this front end only maps cmdliner terms onto it. *)
 let exec_opts_t =
   let pack jobs no_cache cache_dir telemetry =
-    { jobs; no_cache; cache_dir; telemetry }
+    { Vp_exec.Cli.jobs; no_cache; cache_dir; telemetry }
   in
   Term.(const pack $ jobs_t $ no_cache_t $ cache_dir_t $ telemetry_t)
 
-let make_exec (o : exec_opts) =
-  let store =
-    if o.no_cache then None
-    else Some (Vp_exec.Store.create ~dir:o.cache_dir ())
-  in
-  Vp_exec.Context.create ~jobs:o.jobs ?store
-    ~progress:(Vp_exec.Progress.create ()) ()
-
-let emit_telemetry (o : exec_opts) (exec : Vp_exec.Context.t) =
-  match o.telemetry with
-  | None -> ()
-  | Some dest ->
-      let json = Vp_exec.Progress.json_summary exec.progress in
-      if dest = "-" then Printf.eprintf "%s\n%!" json
-      else
-        let oc = open_out dest in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (json ^ "\n"))
+let make_exec = Vp_exec.Cli.context ?progress:None
+let emit_telemetry = Vp_exec.Cli.emit_telemetry
 
 let with_setup f =
   let run width seed threshold names exec_opts =
@@ -146,10 +124,10 @@ let example_cmd =
     Term.(const run $ const ())
 
 let summary_cmd =
-  let f ~config ~exec:_ ~models =
+  let f ~config ~exec ~models =
     List.iter
       (fun model ->
-        let p = Vliw_vp.Pipeline.run ~config model in
+        let p = Vliw_vp.Pipeline.run ~config ~exec model in
         Format.printf "%a@." Vp_workload.Workload.pp_summary p.workload;
         let spec =
           Array.fold_left
@@ -367,13 +345,13 @@ let hyperblocks_cmd =
     (with_setup f)
 
 let hardware_cmd =
-  let f ~config ~exec:_ ~models =
+  let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Trace_sim.render
          (List.map
             (fun model ->
               ( model.Vp_workload.Spec_model.name,
-                Vliw_vp.Trace_sim.run (Vliw_vp.Pipeline.run ~config model) ))
+                Vliw_vp.Trace_sim.run (Vliw_vp.Pipeline.run ~config ~exec model) ))
             models))
   in
   Cmd.v

@@ -57,13 +57,30 @@ type t = {
   blocks : block_eval array;
 }
 
-val run : ?config:Config.t -> Vp_workload.Spec_model.t -> t
+val run : ?config:Config.t -> ?exec:Vp_exec.Context.t -> Vp_workload.Spec_model.t -> t
 
 val run_program :
-  ?config:Config.t -> Vp_workload.Workload.t -> Vp_ir.Program.t -> t
+  ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
+  ?profile:Vp_profile.Value_profile.t ->
+  Vp_workload.Workload.t ->
+  Vp_ir.Program.t ->
+  t
 (** Run the pipeline on a custom program whose loads reference the
     workload's value streams — used by the superblock (region) extension.
-    [run] is [run_program] on the workload's own program. *)
+    [run] is [run_program] on the workload's own program.
+
+    [profile] supplies a precomputed value profile of [program]; without it
+    one is computed here. [run] passes a memoized profile — the profile is
+    a pure function of (model, seed, predictors), so config sweeps that
+    only vary the machine or the speculation policy reuse it instead of
+    recomputing identical rates.
+
+    Simulation is batched: each speculated block is lowered once by
+    [Vp_engine.Compiled] and its whole scenario set — with repeated outcome
+    vectors deduplicated — runs as one [exec] job against a reusable arena.
+    [exec] defaults to [Vp_exec.Context.sequential] (inline, no cache);
+    results are bit-identical for any worker count. *)
 
 val live_in : int -> int
 (** The deterministic live-in register values used for every simulation

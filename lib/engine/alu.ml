@@ -25,6 +25,31 @@ let eval (opcode : Vp_ir.Opcode.t) operands =
     | Fadd | Fmul | Fdiv), _ ->
       arity_error opcode
 
+(* Unboxed entry points for the compiled kernel: same semantics as [eval]
+   without consing an operand list per evaluation. *)
+
+let eval1 (opcode : Vp_ir.Opcode.t) a =
+  match opcode with
+  | Move -> a
+  | Load | Store | Branch | Ld_pred -> bad opcode
+  | Add | Sub | Mul | Div | And | Or | Xor | Shift | Cmp | Fadd | Fmul | Fdiv
+    ->
+      arity_error opcode
+
+let eval2 (opcode : Vp_ir.Opcode.t) a b =
+  match opcode with
+  | Add | Fadd -> a + b
+  | Sub -> a - b
+  | Mul | Fmul -> a * b
+  | Div | Fdiv -> if b = 0 then 0 else a / b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shift -> a lsl (b land 15)
+  | Cmp -> if a < b then 1 else 0
+  | Load | Store | Branch | Ld_pred -> bad opcode
+  | Move -> arity_error opcode
+
 let load_result ~addr ~correct_addr ~correct_value =
   if addr = correct_addr then correct_value
   else

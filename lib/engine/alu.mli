@@ -15,6 +15,12 @@ val eval : Vp_ir.Opcode.t -> int list -> int
     streams, [Ld_pred] reads the value predictor, the others write no
     register) — and on operand-arity mismatches. *)
 
+val eval1 : Vp_ir.Opcode.t -> int -> int
+(** [eval] specialised to one operand — no operand list is allocated. *)
+
+val eval2 : Vp_ir.Opcode.t -> int -> int -> int
+(** [eval] specialised to two operands — no operand list is allocated. *)
+
 val load_result : addr:int -> correct_addr:int -> correct_value:int -> int
 (** The value a load returns when executed with address [addr]: the stream's
     correct value when the address is right, and a deterministic

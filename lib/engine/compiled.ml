@@ -1,0 +1,703 @@
+(* Compile-once scenario kernel.
+
+   [Dual_engine.run] re-derives everything it needs — hashtable register
+   files, per-cycle event queues, sync-bit lookups — from the [Spec_block]
+   on every call, although only the outcome vector changes between the
+   scenarios of one block. This module splits that work:
+
+   - [compile] lowers a speculated block ONCE into flat immutable arrays:
+     per-operation latencies, dense register indices, sync-bit ids,
+     prediction-dependency counts, per-cycle issue slots and wait-mask
+     words, and the reference results every scenario shares;
+   - [run_scenario] replays one outcome vector against the compiled form
+     using a caller-owned {!Arena.t} — preallocated register / event / CCB
+     buffers recycled with an epoch counter — so the per-scenario cost is
+     array resets, not allocation.
+
+   The semantics are bit-for-bit those of [Dual_engine.run] (no observer):
+   the event calendar preserves insertion order per cycle, prediction
+   dependents are visited in ascending operation order, and the CCE operand
+   scan reproduces the engine's fold exactly. [test_kernel_equiv] checks
+   structural equality of the result records on random blocks x random
+   outcome vectors; the paper tables are regenerated through this kernel
+   and must stay byte-identical to the oracle's output. *)
+
+type osrc = O_verified | O_pred of int | O_spec of int
+
+type action =
+  | A_ldpred of { k : int; v_correct : int; v_wrong : int }
+  | A_check of { k : int }
+  | A_spec
+  | A_store
+  | A_branch
+  | A_load
+  | A_alu
+
+type op = {
+  lat : int;
+  opcode : Vp_ir.Opcode.t;
+  srcs : int array;  (* dense register indices *)
+  dst : int;  (* dense register index, -1 if none *)
+  guard : int;  (* dense register index, -1 if unguarded *)
+  guard_pol : bool;
+  sync_bit : int;  (* LdPred / speculative ops, else -1 *)
+  action : action;
+  is_load : bool;
+  executed : bool;  (* reference: did the original op run (predication)? *)
+  result : int;  (* reference result of the original op *)
+  correct_addr : int;  (* reference address, speculative loads only *)
+  osrcs : osrc array;  (* CCE operand provenance, speculative ops only *)
+  writeback : bool;  (* may the CCE write the register file? *)
+}
+
+type pred = {
+  p_sync_bit : int;
+  check_executed : bool;
+  check_dst : int;  (* dense register index of the destination *)
+  check_value : int;  (* reference result of the checked load *)
+  dependents : int array;  (* speculative dependents, ascending ids *)
+}
+
+type t = {
+  label : string;
+  ccb_capacity : int;
+  cce_retire_width : int;
+  num_preds : int;
+  new_n : int;
+  ops : op array;
+  preds : pred array;
+  unresolved_init : int array;  (* per op: prediction-dependency count *)
+  insn_ops : int array array;  (* static cycle -> op ids, ascending *)
+  insn_spec : int array;  (* static cycle -> speculative ops in the insn *)
+  insn_mask : int array array;  (* static cycle -> wait-mask words *)
+  sync_words : int;
+  nregs : int;
+  reg_init : int array;  (* live-in value of each dense register *)
+  final_pairs : (int * int) array;  (* (register, dense index), in order *)
+  limit : int;
+  horizon : int;  (* event-ring size: max latency + 2 *)
+}
+
+(* --- Arena: the reusable mutable half --- *)
+
+module Arena = struct
+  type t = {
+    mutable epoch : int;
+    (* register file: value valid iff stamp = epoch, else live-in *)
+    mutable reg_val : int array;
+    mutable reg_stamp : int array;
+    mutable sync : int array;
+    (* per prediction *)
+    mutable ovb_pred_known : int array;
+    (* per transformed op *)
+    mutable unresolved : int array;
+    mutable tainted : bool array;
+    mutable spec_correct_known : int array;
+    mutable cce_value_time : int array;
+    mutable captured_old : int array;
+    mutable correct_known_scheduled : bool array;
+    (* CCB ring *)
+    mutable ccb_s : int array;
+    mutable ccb_t : int array;
+    mutable ccb_head : int;
+    mutable ccb_len : int;
+    mutable ccb_high : int;
+    (* event calendar: ring of buckets, 3 ints (tag, a, b) per event *)
+    mutable ev_buf : int array array;
+    mutable ev_len : int array;
+    mutable pending : int;
+    (* store commits, in order *)
+    mutable stores_a : int array;
+    mutable stores_v : int array;
+    mutable stores_n : int;
+    (* accounting *)
+    mutable last_completion : int;
+    mutable vliw_last : int;
+    mutable stall_cycles : int;
+    mutable flushed : int;
+    mutable recomputed : int;
+  }
+
+  let create () =
+    {
+      epoch = 0;
+      reg_val = [||];
+      reg_stamp = [||];
+      sync = [||];
+      ovb_pred_known = [||];
+      unresolved = [||];
+      tainted = [||];
+      spec_correct_known = [||];
+      cce_value_time = [||];
+      captured_old = [||];
+      correct_known_scheduled = [||];
+      ccb_s = [||];
+      ccb_t = [||];
+      ccb_head = 0;
+      ccb_len = 0;
+      ccb_high = 0;
+      ev_buf = [||];
+      ev_len = [||];
+      pending = 0;
+      stores_a = [||];
+      stores_v = [||];
+      stores_n = 0;
+      last_completion = 0;
+      vliw_last = 0;
+      stall_cycles = 0;
+      flushed = 0;
+      recomputed = 0;
+    }
+end
+
+(* Grow (never shrink) the arena to the compiled block's needs. Growth
+   replaces with fresh zeroed arrays — every run resets the slices it uses,
+   and register stamps from other epochs are ignored by construction. *)
+let ensure (t : t) (a : Arena.t) =
+  let ints n arr = if Array.length arr < n then Array.make n 0 else arr in
+  let bools n arr = if Array.length arr < n then Array.make n false else arr in
+  a.Arena.reg_val <- ints t.nregs a.Arena.reg_val;
+  a.Arena.reg_stamp <- ints t.nregs a.Arena.reg_stamp;
+  a.Arena.sync <- ints t.sync_words a.Arena.sync;
+  a.Arena.ovb_pred_known <- ints t.num_preds a.Arena.ovb_pred_known;
+  a.Arena.unresolved <- ints t.new_n a.Arena.unresolved;
+  a.Arena.tainted <- bools t.new_n a.Arena.tainted;
+  a.Arena.spec_correct_known <- ints t.new_n a.Arena.spec_correct_known;
+  a.Arena.cce_value_time <- ints t.new_n a.Arena.cce_value_time;
+  a.Arena.captured_old <- ints t.new_n a.Arena.captured_old;
+  a.Arena.correct_known_scheduled <-
+    bools t.new_n a.Arena.correct_known_scheduled;
+  a.Arena.ccb_s <- ints (max 1 t.new_n) a.Arena.ccb_s;
+  a.Arena.ccb_t <- ints (max 1 t.new_n) a.Arena.ccb_t;
+  a.Arena.stores_a <- ints (max 1 t.new_n) a.Arena.stores_a;
+  a.Arena.stores_v <- ints (max 1 t.new_n) a.Arena.stores_v;
+  if Array.length a.Arena.ev_len < t.horizon then begin
+    a.Arena.ev_len <- Array.make t.horizon 0;
+    a.Arena.ev_buf <- Array.init t.horizon (fun _ -> Array.make 24 0)
+  end
+
+(* --- Compile phase --- *)
+
+let compile ?(ccb_capacity = max_int) ?(cce_retire_width = 1)
+    (sb : Vp_vspec.Spec_block.t) ~(reference : Reference.t) ~live_in =
+  if cce_retire_width < 1 then invalid_arg "Compiled.compile: cce_retire_width < 1";
+  let open Vp_vspec.Spec_block in
+  let num_preds = Array.length sb.predicted in
+  if reference.Reference.block != sb.original_block then
+    if
+      Vp_ir.Block.size reference.Reference.block
+      <> Vp_ir.Block.size sb.original_block
+    then invalid_arg "Compiled.compile: reference block mismatch";
+  let block = sb.block in
+  let new_n = Vp_ir.Block.size block in
+  let k_count = num_preds in
+  let orig_of i = i - k_count in
+  let latency i = Vp_ir.Depgraph.latency sb.graph i in
+  (* Dense register numbering over everything the engine can touch. *)
+  let reg_ids = Hashtbl.create 64 in
+  let reg_list = ref [] and nregs = ref 0 in
+  let reg_of r =
+    match Hashtbl.find_opt reg_ids r with
+    | Some i -> i
+    | None ->
+        let i = !nregs in
+        incr nregs;
+        Hashtbl.replace reg_ids r i;
+        reg_list := r :: !reg_list;
+        i
+  in
+  let block_ops = Vp_ir.Block.ops block in
+  Array.iter
+    (fun (o : Vp_ir.Operation.t) ->
+      List.iter (fun r -> ignore (reg_of r)) o.srcs;
+      (match o.dst with Some r -> ignore (reg_of r) | None -> ());
+      match o.guard with Some (p, _) -> ignore (reg_of p) | None -> ())
+    block_ops;
+  List.iter
+    (fun (r, _) -> ignore (reg_of r))
+    reference.Reference.final_regs;
+  (* Per-prediction lookup: check id -> prediction index. *)
+  let pred_of_check = Hashtbl.create 8 in
+  Array.iter
+    (fun (p : predicted_load) -> Hashtbl.replace pred_of_check p.check_id p.index)
+    sb.predicted;
+  let max_lat = ref 1 in
+  let ops =
+    Array.map
+      (fun (o : Vp_ir.Operation.t) ->
+        let i = o.id in
+        let lat = latency i in
+        if lat < 1 then invalid_arg "Compiled.compile: latency < 1";
+        if lat > !max_lat then max_lat := lat;
+        let is_spec = Vp_ir.Operation.is_speculative o in
+        let executed =
+          i >= k_count && reference.Reference.executed.(orig_of i)
+        in
+        let result = if i >= k_count then reference.Reference.results.(orig_of i) else 0 in
+        let action =
+          match o.form with
+          | Vp_ir.Operation.Ldpred_of _ ->
+              let k = i in
+              let v_correct =
+                reference.Reference.results.(orig_of sb.predicted.(k).check_id)
+              in
+              A_ldpred { k; v_correct; v_wrong = Alu.wrong_value v_correct }
+          | Vp_ir.Operation.Check _ ->
+              A_check { k = Hashtbl.find pred_of_check i }
+          | Vp_ir.Operation.Speculative _ -> A_spec
+          | Vp_ir.Operation.Normal | Vp_ir.Operation.Non_speculative -> (
+              match o.opcode with
+              | Vp_ir.Opcode.Store -> A_store
+              | Vp_ir.Opcode.Branch -> A_branch
+              | Vp_ir.Opcode.Load -> A_load
+              | Vp_ir.Opcode.Ld_pred ->
+                  assert false (* always carries Ldpred_of form *)
+              | _ -> A_alu)
+        in
+        {
+          lat;
+          opcode = o.opcode;
+          srcs = Array.of_list (List.map reg_of o.srcs);
+          dst = (match o.dst with Some r -> reg_of r | None -> -1);
+          guard = (match o.guard with Some (p, _) -> reg_of p | None -> -1);
+          guard_pol = (match o.guard with Some (_, pol) -> pol | None -> true);
+          sync_bit =
+            (match Vp_ir.Operation.sets_sync_bit o with
+            | Some b -> b
+            | None -> -1);
+          action;
+          is_load = Vp_ir.Operation.is_load o;
+          executed;
+          result;
+          correct_addr =
+            (if is_spec && Vp_ir.Operation.is_load o then
+               List.hd reference.Reference.operands.(orig_of i)
+             else 0);
+          osrcs =
+            (if is_spec then
+               Array.of_list
+                 (List.map
+                    (function
+                      | Verified -> O_verified
+                      | From_prediction k -> O_pred k
+                      | From_spec s -> O_spec s)
+                    sb.operand_sources.(i))
+             else [||]);
+          writeback = sb.cce_writeback.(i);
+        })
+      block_ops
+  in
+  let unresolved_init = Array.make new_n 0 in
+  Array.iter
+    (fun (o : Vp_ir.Operation.t) ->
+      if Vp_ir.Operation.is_speculative o then
+        unresolved_init.(o.id) <- List.length sb.pred_deps.(o.id))
+    block_ops;
+  (* Prediction k -> speculative dependents, in ascending op order (the
+     engine's [Array.iter] over the block). *)
+  let preds =
+    Array.map
+      (fun (p : predicted_load) ->
+        let deps = ref [] in
+        Array.iter
+          (fun (o : Vp_ir.Operation.t) ->
+            if
+              Vp_ir.Operation.is_speculative o
+              && List.mem p.index sb.pred_deps.(o.id)
+            then deps := o.id :: !deps)
+          block_ops;
+        {
+          p_sync_bit = p.sync_bit;
+          check_executed =
+            reference.Reference.executed.(orig_of p.check_id);
+          check_dst = reg_of p.dest_reg;
+          check_value = reference.Reference.results.(orig_of p.check_id);
+          dependents = Array.of_list (List.rev !deps);
+        })
+      sb.predicted
+  in
+  let insns = Vp_sched.Schedule.instructions sb.schedule in
+  let insn_ops =
+    Array.map
+      (fun l ->
+        Array.of_list (List.map (fun (o : Vp_ir.Operation.t) -> o.id) l))
+      insns
+  in
+  let insn_spec =
+    Array.map
+      (fun l ->
+        List.length (List.filter Vp_ir.Operation.is_speculative l))
+      insns
+  in
+  let insn_mask =
+    Array.init (Array.length insns) (fun c ->
+        Vp_util.Bitset.to_words sb.wait_masks.(c))
+  in
+  let sync_words =
+    Array.fold_left
+      (fun acc m -> max acc (Array.length m))
+      (max 1 ((sb.sync_bits_used / Sys.int_size) + 1))
+      insn_mask
+  in
+  let reg_init = Array.make (max 1 !nregs) 0 in
+  List.iter (fun r -> reg_init.(Hashtbl.find reg_ids r) <- live_in r) !reg_list;
+  {
+    label = Vp_ir.Block.label block;
+    ccb_capacity;
+    cce_retire_width;
+    num_preds;
+    new_n;
+    ops;
+    preds;
+    unresolved_init;
+    insn_ops;
+    insn_spec;
+    insn_mask;
+    sync_words;
+    nregs = max 1 !nregs;
+    reg_init;
+    final_pairs =
+      Array.of_list
+        (List.map
+           (fun (r, _) -> (r, Hashtbl.find reg_ids r))
+           reference.Reference.final_regs);
+    limit =
+      (20 * (Vp_sched.Schedule.length sb.schedule + 10)) + (50 * new_n) + 200;
+    horizon = !max_lat + 2;
+  }
+
+let num_predictions t = t.num_preds
+
+(* --- Run phase --- *)
+
+(* Event tags. *)
+let ev_write = 0 (* a = dense register, b = value *)
+let ev_check = 1 (* a = prediction index *)
+let ev_ovb = 2 (* a = prediction index *)
+let ev_spec_known = 3 (* a = op id *)
+let ev_cce = 4 (* a = op id, b = value *)
+let ev_store = 5 (* a = address, b = value *)
+
+let[@inline] reg_read (t : t) (a : Arena.t) idx =
+  if a.Arena.reg_stamp.(idx) = a.Arena.epoch then a.Arena.reg_val.(idx)
+  else t.reg_init.(idx)
+
+let[@inline] reg_write (a : Arena.t) idx v =
+  a.Arena.reg_val.(idx) <- v;
+  a.Arena.reg_stamp.(idx) <- a.Arena.epoch
+
+let[@inline] sync_set (a : Arena.t) bit =
+  let w = bit / Sys.int_size and b = bit mod Sys.int_size in
+  a.Arena.sync.(w) <- a.Arena.sync.(w) lor (1 lsl b)
+
+let[@inline] sync_clear (a : Arena.t) bit =
+  let w = bit / Sys.int_size and b = bit mod Sys.int_size in
+  a.Arena.sync.(w) <- a.Arena.sync.(w) land lnot (1 lsl b)
+
+let[@inline] complete_at (a : Arena.t) time =
+  if time > a.Arena.last_completion then a.Arena.last_completion <- time
+
+let[@inline] vliw_complete_at (a : Arena.t) time =
+  complete_at a time;
+  if time > a.Arena.vliw_last then a.Arena.vliw_last <- time
+
+let schedule_event (t : t) (a : Arena.t) time tag x y =
+  let b = time mod t.horizon in
+  let len = a.Arena.ev_len.(b) in
+  let buf = a.Arena.ev_buf.(b) in
+  let buf =
+    if (3 * len) + 3 > Array.length buf then begin
+      let nbuf = Array.make (max 24 (2 * Array.length buf)) 0 in
+      Array.blit buf 0 nbuf 0 (3 * len);
+      a.Arena.ev_buf.(b) <- nbuf;
+      nbuf
+    end
+    else buf
+  in
+  buf.(3 * len) <- tag;
+  buf.((3 * len) + 1) <- x;
+  buf.((3 * len) + 2) <- y;
+  a.Arena.ev_len.(b) <- len + 1;
+  a.Arena.pending <- a.Arena.pending + 1
+
+let ccb_push (a : Arena.t) s time =
+  let phys = Array.length a.Arena.ccb_s in
+  let tail = a.Arena.ccb_head + a.Arena.ccb_len in
+  let tail = if tail >= phys then tail - phys else tail in
+  a.Arena.ccb_s.(tail) <- s;
+  a.Arena.ccb_t.(tail) <- time;
+  a.Arena.ccb_len <- a.Arena.ccb_len + 1;
+  if a.Arena.ccb_len > a.Arena.ccb_high then a.Arena.ccb_high <- a.Arena.ccb_len
+
+let ccb_pop (a : Arena.t) =
+  let phys = Array.length a.Arena.ccb_s in
+  let head = a.Arena.ccb_head + 1 in
+  a.Arena.ccb_head <- (if head >= phys then 0 else head);
+  a.Arena.ccb_len <- a.Arena.ccb_len - 1
+
+(* A speculative operation whose every prediction has verified correct is
+   resolved (see [Dual_engine.run]). *)
+let resolve_if_verified (t : t) (a : Arena.t) now s =
+  if a.Arena.unresolved.(s) = 0 && not a.Arena.tainted.(s) then begin
+    sync_clear a t.ops.(s).sync_bit;
+    if not a.Arena.correct_known_scheduled.(s) then begin
+      a.Arena.correct_known_scheduled.(s) <- true;
+      schedule_event t a (now + 1) ev_spec_known s 0
+    end
+  end
+
+let handle_check_complete (t : t) (a : Arena.t) ~outcomes now k =
+  let p = t.preds.(k) in
+  sync_clear a p.p_sync_bit;
+  if p.check_executed then reg_write a p.check_dst p.check_value;
+  complete_at a now;
+  schedule_event t a (now + 1) ev_ovb k 0;
+  let correct : bool = outcomes.(k) in
+  let deps = p.dependents in
+  for j = 0 to Array.length deps - 1 do
+    let s = deps.(j) in
+    a.Arena.unresolved.(s) <- a.Arena.unresolved.(s) - 1;
+    if not correct then a.Arena.tainted.(s) <- true;
+    resolve_if_verified t a now s
+  done
+
+let handle_event (t : t) (a : Arena.t) ~outcomes now tag x y =
+  if tag = ev_write then begin
+    reg_write a x y;
+    complete_at a now
+  end
+  else if tag = ev_check then handle_check_complete t a ~outcomes now x
+  else if tag = ev_ovb then a.Arena.ovb_pred_known.(x) <- now
+  else if tag = ev_spec_known then a.Arena.spec_correct_known.(x) <- now
+  else if tag = ev_cce then begin
+    a.Arena.cce_value_time.(x) <- now;
+    sync_clear a t.ops.(x).sync_bit;
+    if t.ops.(x).writeback then reg_write a t.ops.(x).dst y;
+    complete_at a now
+  end
+  else begin
+    (* ev_store *)
+    let n = a.Arena.stores_n in
+    a.Arena.stores_a.(n) <- x;
+    a.Arena.stores_v.(n) <- y;
+    a.Arena.stores_n <- n + 1;
+    complete_at a now
+  end
+
+(* One CCE head step: [true] if the head was retired. *)
+let cce_step (t : t) (a : Arena.t) ~outcomes now =
+  if a.Arena.ccb_len = 0 then false
+  else begin
+    let s = a.Arena.ccb_s.(a.Arena.ccb_head) in
+    let entry_time = a.Arena.ccb_t.(a.Arena.ccb_head) in
+    if entry_time >= now then false (* entered this very cycle *)
+    else begin
+      let o = t.ops.(s) in
+      (* The engine's fold over operand sources: [known = false] is the
+         fold's [None] and absorbs everything after it. *)
+      let known = ref true and correct = ref true in
+      let os = o.osrcs in
+      for j = 0 to Array.length os - 1 do
+        if !known then
+          match os.(j) with
+          | O_verified -> ()
+          | O_pred k ->
+              if a.Arena.ovb_pred_known.(k) <= now then begin
+                if not outcomes.(k) then correct := false
+              end
+              else known := false
+          | O_spec s' ->
+              if a.Arena.spec_correct_known.(s') <= now then ()
+              else if a.Arena.cce_value_time.(s') <= now then correct := false
+              else known := false
+      done;
+      if not !known then false (* head stalls on an unresolved operand *)
+      else if !correct then begin
+        ccb_pop a;
+        a.Arena.flushed <- a.Arena.flushed + 1;
+        true
+      end
+      else begin
+        ccb_pop a;
+        a.Arena.recomputed <- a.Arena.recomputed + 1;
+        let value =
+          if o.executed then o.result else a.Arena.captured_old.(s)
+        in
+        schedule_event t a (now + o.lat) ev_cce s value;
+        true
+      end
+    end
+  end
+
+let issue_instruction (t : t) (a : Arena.t) ~outcomes now c =
+  let ids = t.insn_ops.(c) in
+  for j = 0 to Array.length ids - 1 do
+    let i = ids.(j) in
+    let o = t.ops.(i) in
+    vliw_complete_at a (now + o.lat);
+    let guard_on () =
+      o.guard < 0 || reg_read t a o.guard <> 0 = o.guard_pol
+    in
+    match o.action with
+    | A_ldpred { k; v_correct; v_wrong } ->
+        sync_set a o.sync_bit;
+        schedule_event t a (now + o.lat) ev_write o.dst
+          (if outcomes.(k) then v_correct else v_wrong)
+    | A_check { k } -> schedule_event t a (now + o.lat) ev_check k 0
+    | A_spec ->
+        sync_set a o.sync_bit;
+        a.Arena.captured_old.(i) <- reg_read t a o.dst;
+        (* the guard is evaluated from the (possibly predicted) register
+           file: a wrong decision here is what the CCE recovers from *)
+        if guard_on () then begin
+          let value =
+            if o.is_load then
+              Alu.load_result
+                ~addr:(reg_read t a o.srcs.(0))
+                ~correct_addr:o.correct_addr ~correct_value:o.result
+            else if Array.length o.srcs = 1 then
+              Alu.eval1 o.opcode (reg_read t a o.srcs.(0))
+            else
+              Alu.eval2 o.opcode
+                (reg_read t a o.srcs.(0))
+                (reg_read t a o.srcs.(1))
+          in
+          schedule_event t a (now + o.lat) ev_write o.dst value
+        end;
+        ccb_push a i now;
+        resolve_if_verified t a now i
+    | A_store ->
+        if guard_on () then
+          schedule_event t a (now + o.lat) ev_store
+            (reg_read t a o.srcs.(0))
+            (reg_read t a o.srcs.(1))
+    | A_branch -> ()
+    | A_load ->
+        if guard_on () then
+          schedule_event t a (now + o.lat) ev_write o.dst o.result
+    | A_alu ->
+        if guard_on () then
+          let value =
+            if Array.length o.srcs = 1 then
+              Alu.eval1 o.opcode (reg_read t a o.srcs.(0))
+            else
+              Alu.eval2 o.opcode
+                (reg_read t a o.srcs.(0))
+                (reg_read t a o.srcs.(1))
+          in
+          schedule_event t a (now + o.lat) ev_write o.dst value
+  done
+
+let deadlock (t : t) (a : Arena.t) ~now ~next_insn =
+  let head =
+    if a.Arena.ccb_len = 0 then "none"
+    else
+      Printf.sprintf "op %d (entered %d)"
+        a.Arena.ccb_s.(a.Arena.ccb_head)
+        a.Arena.ccb_t.(a.Arena.ccb_head)
+  in
+  let bits = ref [] in
+  for b = (t.sync_words * Sys.int_size) - 1 downto 0 do
+    if a.Arena.sync.(b / Sys.int_size) land (1 lsl (b mod Sys.int_size)) <> 0
+    then bits := b :: !bits
+  done;
+  raise
+    (Dual_engine.Deadlock
+       (Printf.sprintf
+          "block %s: no progress by cycle %d (insn %d/%d, %d pending events, \
+           CCB %d head %s, sync {%s})"
+          t.label now next_insn
+          (Array.length t.insn_ops)
+          a.Arena.pending a.Arena.ccb_len head
+          (String.concat "," (List.map string_of_int !bits))))
+
+let run_scenario (t : t) (a : Arena.t) ~outcomes : Dual_engine.result =
+  if Array.length outcomes <> t.num_preds then
+    invalid_arg "Compiled.run_scenario: outcomes length mismatch";
+  ensure t a;
+  (* Reset the slices this block uses; a bumped epoch invalidates every
+     register stamp at once. *)
+  a.Arena.epoch <- a.Arena.epoch + 1;
+  Array.fill a.Arena.sync 0 (Array.length a.Arena.sync) 0;
+  Array.fill a.Arena.ovb_pred_known 0 t.num_preds max_int;
+  Array.blit t.unresolved_init 0 a.Arena.unresolved 0 t.new_n;
+  Array.fill a.Arena.tainted 0 t.new_n false;
+  Array.fill a.Arena.spec_correct_known 0 t.new_n max_int;
+  Array.fill a.Arena.cce_value_time 0 t.new_n max_int;
+  Array.fill a.Arena.captured_old 0 t.new_n 0;
+  Array.fill a.Arena.correct_known_scheduled 0 t.new_n false;
+  a.Arena.ccb_head <- 0;
+  a.Arena.ccb_len <- 0;
+  a.Arena.ccb_high <- 0;
+  Array.fill a.Arena.ev_len 0 (Array.length a.Arena.ev_len) 0;
+  a.Arena.pending <- 0;
+  a.Arena.stores_n <- 0;
+  a.Arena.last_completion <- 0;
+  a.Arena.vliw_last <- 0;
+  a.Arena.stall_cycles <- 0;
+  a.Arena.flushed <- 0;
+  a.Arena.recomputed <- 0;
+  let num_insns = Array.length t.insn_ops in
+  let next_insn = ref 0 in
+  let now = ref 0 in
+  while
+    !next_insn < num_insns || a.Arena.pending > 0 || a.Arena.ccb_len > 0
+  do
+    if !now > t.limit then deadlock t a ~now:!now ~next_insn:!next_insn;
+    (* 1. Completions scheduled for this cycle (insertion order). All new
+       events land 1..horizon-2 cycles ahead, never in this bucket. *)
+    let b = !now mod t.horizon in
+    let n_ev = a.Arena.ev_len.(b) in
+    if n_ev > 0 then begin
+      let buf = a.Arena.ev_buf.(b) in
+      for j = 0 to n_ev - 1 do
+        a.Arena.pending <- a.Arena.pending - 1;
+        handle_event t a ~outcomes !now
+          buf.(3 * j)
+          buf.((3 * j) + 1)
+          buf.((3 * j) + 2)
+      done;
+      a.Arena.ev_len.(b) <- 0
+    end;
+    (* 2. CCE: up to [cce_retire_width] head retirements per cycle. *)
+    let budget = ref t.cce_retire_width in
+    while !budget > 0 && cce_step t a ~outcomes !now do
+      decr budget
+    done;
+    (* 3. VLIW issue. *)
+    if !next_insn < num_insns then begin
+      let c = !next_insn in
+      let mask = t.insn_mask.(c) in
+      let stalled_on_sync = ref false in
+      for w = 0 to Array.length mask - 1 do
+        if mask.(w) land a.Arena.sync.(w) <> 0 then stalled_on_sync := true
+      done;
+      let ccb_room = a.Arena.ccb_len + t.insn_spec.(c) <= t.ccb_capacity in
+      if (not !stalled_on_sync) && ccb_room then begin
+        issue_instruction t a ~outcomes !now c;
+        incr next_insn
+      end
+      else a.Arena.stall_cycles <- a.Arena.stall_cycles + 1
+    end;
+    incr now
+  done;
+  let final_regs = ref [] in
+  for j = Array.length t.final_pairs - 1 downto 0 do
+    let r, idx = t.final_pairs.(j) in
+    final_regs := (r, reg_read t a idx) :: !final_regs
+  done;
+  let stores = ref [] in
+  for j = a.Arena.stores_n - 1 downto 0 do
+    stores := (a.Arena.stores_a.(j), a.Arena.stores_v.(j)) :: !stores
+  done;
+  {
+    Dual_engine.cycles = a.Arena.last_completion;
+    vliw_cycles = a.Arena.vliw_last;
+    stall_cycles = a.Arena.stall_cycles;
+    flushed = a.Arena.flushed;
+    recomputed = a.Arena.recomputed;
+    ccb_high_water = a.Arena.ccb_high;
+    mispredicted = t.num_preds - Scenario.count_correct outcomes;
+    final_regs = !final_regs;
+    stores = !stores;
+  }

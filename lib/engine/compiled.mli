@@ -1,0 +1,57 @@
+(** Compile-once / run-many scenario kernel.
+
+    [Dual_engine.run] is the oracle: it interprets a {!Vp_vspec.Spec_block}
+    directly, building hashtable register files and per-cycle event queues
+    on every call. Evaluating a block means running it under {e many}
+    outcome vectors (enumerated scenarios plus Monte-Carlo draws), so
+    everything that does not depend on the outcome vector — latencies,
+    sync-bit ids, prediction-dependency counts, issue slots, wait masks,
+    reference results — is recomputed wastefully.
+
+    This module splits the work. {!compile} lowers a block once into flat
+    immutable arrays; {!run_scenario} replays one outcome vector against the
+    compiled form using a caller-owned {!Arena.t} of preallocated mutable
+    buffers, recycled across runs with an epoch counter, so the
+    per-scenario cost is array resets rather than allocation.
+
+    Semantics are exactly those of [Dual_engine.run] without an observer:
+    identical [result] records (checked structurally by the kernel
+    equivalence test suite on random blocks and outcome vectors) and the
+    same [Dual_engine.Deadlock] exception on livelock. *)
+
+(** Reusable mutable scratch state. One arena serves any number of
+    compiled blocks sequentially — {!run_scenario} grows it on demand and
+    resets only the slices the block uses. Arenas are not thread-safe; use
+    one per domain. *)
+module Arena : sig
+  type t
+
+  val create : unit -> t
+end
+
+type t
+(** A speculated block lowered to flat arrays, specialised to one
+    (reference, live-in, CCB capacity, CCE retire width) configuration. *)
+
+val compile :
+  ?ccb_capacity:int ->
+  ?cce_retire_width:int ->
+  Vp_vspec.Spec_block.t ->
+  reference:Reference.t ->
+  live_in:(int -> int) ->
+  t
+(** [compile sb ~reference ~live_in] validates once what [Dual_engine.run]
+    validates per call (retire width, reference/block agreement, latency
+    positivity) and precomputes every outcome-independent quantity. Raises
+    [Invalid_argument] exactly where the oracle would. *)
+
+val num_predictions : t -> int
+(** Number of predicted loads — the length {!run_scenario} expects of
+    [outcomes]. *)
+
+val run_scenario : t -> Arena.t -> outcomes:Scenario.t -> Dual_engine.result
+(** [run_scenario t arena ~outcomes] simulates one scenario. Equivalent to
+    [Dual_engine.run sb ~reference ~live_in ~outcomes] with the parameters
+    captured at compile time; the only per-run allocation is the [result]
+    record and its lists. Raises [Dual_engine.Deadlock] as the oracle
+    does. *)

@@ -1,0 +1,59 @@
+type opts = {
+  jobs : int;
+  no_cache : bool;
+  cache_dir : string;
+  telemetry : string option;
+}
+
+let default =
+  { jobs = 1; no_cache = false; cache_dir = Store.default_dir; telemetry = None }
+
+let usage =
+  "--jobs N (worker domains; output is byte-identical for any N), \
+   --no-cache (disable the on-disk result cache), --cache-dir DIR, \
+   --telemetry FILE (JSON job/cache/utilization summary; \"-\" = stderr)"
+
+let parse args =
+  let rec go opts leftover = function
+    | [] -> Ok (opts, List.rev leftover)
+    | ("--jobs" | "-j") :: rest -> (
+        match rest with
+        | n :: rest -> (
+            match int_of_string_opt n with
+            | Some jobs when jobs >= 1 -> go { opts with jobs } leftover rest
+            | _ -> Error (Printf.sprintf "--jobs: not a positive integer: %s" n))
+        | [] -> Error "--jobs requires a value")
+    | "--no-cache" :: rest -> go { opts with no_cache = true } leftover rest
+    | "--cache-dir" :: rest -> (
+        match rest with
+        | d :: rest -> go { opts with cache_dir = d } leftover rest
+        | [] -> Error "--cache-dir requires a value")
+    | "--telemetry" :: rest -> (
+        match rest with
+        | f :: rest -> go { opts with telemetry = Some f } leftover rest
+        | [] -> Error "--telemetry requires a value")
+    | arg :: rest -> go opts (arg :: leftover) rest
+  in
+  go default [] args
+
+let context ?progress opts =
+  let store =
+    if opts.no_cache then None
+    else Some (Store.create ~dir:opts.cache_dir ())
+  in
+  let progress =
+    match progress with Some p -> p | None -> Progress.create ()
+  in
+  Context.create ~jobs:opts.jobs ?store ~progress ()
+
+let emit_telemetry opts (exec : Context.t) =
+  match opts.telemetry with
+  | None -> ()
+  | Some dest ->
+      let json = Progress.json_summary exec.progress in
+      if dest = "-" then Printf.eprintf "%s\n%!" json
+      else
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (json ^ "\n"))

@@ -1,0 +1,35 @@
+(** Shared execution-context flag vocabulary.
+
+    Every executable that runs jobs — the cmdliner-based [vliw_vp] driver
+    and the hand-rolled bench harness — accepts the same four flags with
+    the same semantics, defined once here: [--jobs N], [--no-cache],
+    [--cache-dir DIR] and [--telemetry FILE]. The cmdliner front end maps
+    its parsed terms onto {!opts}; plain front ends call {!parse}
+    directly. *)
+
+type opts = {
+  jobs : int;  (** worker domains; 1 = sequential *)
+  no_cache : bool;  (** disable the on-disk result {!Store} *)
+  cache_dir : string;
+  telemetry : string option;
+      (** where to write the JSON telemetry summary; ["-"] = stderr *)
+}
+
+val default : opts
+(** One worker, caching on in {!Store.default_dir}, no telemetry. *)
+
+val usage : string
+(** One-line description of the shared flags, for error messages. *)
+
+val parse : string list -> (opts * string list, string) result
+(** [parse args] consumes the shared flags anywhere in [args] and returns
+    the remaining arguments in their original order — the caller decides
+    whether leftovers are its own flags or an error. Fails with a message
+    on a malformed or missing flag value. *)
+
+val context : ?progress:Progress.t -> opts -> Context.t
+(** Build the execution context the options describe. *)
+
+val emit_telemetry : opts -> Context.t -> unit
+(** Write the context's telemetry summary to the configured destination,
+    if any. *)

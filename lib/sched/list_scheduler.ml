@@ -1,3 +1,5 @@
+module Iset = Set.Make (Int)
+
 let schedule descr graph =
   let n = Vp_ir.Depgraph.size graph in
   let block = Vp_ir.Depgraph.block graph in
@@ -9,42 +11,62 @@ let schedule descr graph =
   for i = 0 to n - 1 do
     npreds.(i) <- List.length (Vp_ir.Depgraph.preds graph i)
   done;
+  (* Scheduling order is fixed up front — best priority first, id as
+     tie-break — so "iterate the ready operations in order" becomes
+     "iterate a set of ranks". [order] maps rank -> id, [rank] id -> rank. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare prio.(b) prio.(a) with 0 -> compare a b | c -> c)
+    order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun r i -> rank.(i) <- r) order;
+  (* Ranks of released operations: every predecessor has issued (their
+     [ready_time] may still lie ahead). Maintained incrementally on issue
+     instead of rescanning all n operations every cycle. *)
+  let released = ref Iset.empty in
+  for i = 0 to n - 1 do
+    if npreds.(i) = 0 then released := Iset.add rank.(i) !released
+  done;
   let cycle = ref 0 in
   while !remaining > 0 do
-    (* Ready operations, best priority first, id as tie-break. *)
-    let ready = ref [] in
-    for i = n - 1 downto 0 do
-      if issue.(i) < 0 && npreds.(i) = 0 && ready_time.(i) <= !cycle then
-        ready := i :: !ready
-    done;
-    let ready =
-      List.sort
-        (fun a b ->
-          match compare prio.(b) prio.(a) with 0 -> compare a b | c -> c)
-        !ready
-    in
+    (* The set is persistent, so the cycle-start value is a free snapshot:
+       operations released while issuing (zero-delay edges) join [released]
+       but are not visited until the next cycle, exactly like the old
+       per-cycle rescan. Snapshot members are never re-released or delayed
+       by this cycle's issues — all their predecessors already issued. *)
+    let snapshot = !released in
     let total = ref 0 in
     let per_class = Hashtbl.create 4 in
     let class_count c =
       Option.value ~default:0 (Hashtbl.find_opt per_class c)
     in
-    List.iter
-      (fun i ->
-        let op = Vp_ir.Block.op block i in
-        if Vp_machine.Descr.fits descr ~total:!total ~per_class:class_count op
-        then begin
-          issue.(i) <- !cycle;
-          incr total;
-          let c = Vp_machine.Unit_class.of_opcode op.opcode in
-          Hashtbl.replace per_class c (class_count c + 1);
-          decr remaining;
-          List.iter
-            (fun (e : Vp_ir.Depgraph.edge) ->
-              npreds.(e.dst) <- npreds.(e.dst) - 1;
-              ready_time.(e.dst) <- max ready_time.(e.dst) (!cycle + e.delay))
-            (Vp_ir.Depgraph.succs graph i)
+    Iset.iter
+      (fun r ->
+        let i = order.(r) in
+        if ready_time.(i) <= !cycle then begin
+          let op = Vp_ir.Block.op block i in
+          if
+            Vp_machine.Descr.fits descr ~total:!total ~per_class:class_count
+              op
+          then begin
+            issue.(i) <- !cycle;
+            incr total;
+            let c = Vp_machine.Unit_class.of_opcode op.opcode in
+            Hashtbl.replace per_class c (class_count c + 1);
+            decr remaining;
+            released := Iset.remove r !released;
+            List.iter
+              (fun (e : Vp_ir.Depgraph.edge) ->
+                npreds.(e.dst) <- npreds.(e.dst) - 1;
+                ready_time.(e.dst) <-
+                  max ready_time.(e.dst) (!cycle + e.delay);
+                if npreds.(e.dst) = 0 then
+                  released := Iset.add rank.(e.dst) !released)
+              (Vp_ir.Depgraph.succs graph i)
+          end
         end)
-      ready;
+      snapshot;
     incr cycle
   done;
   Schedule.make descr graph ~issue

@@ -1,0 +1,196 @@
+(* Kernel equivalence: the compiled scenario kernel ([Vp_engine.Compiled])
+   must be indistinguishable from the interpreting oracle
+   ([Vp_engine.Dual_engine.run]) — structurally equal [result] records for
+   every block and every outcome vector — and the arena path must not
+   allocate per run beyond the result record itself. *)
+
+let checkb = Alcotest.(check bool)
+let machine = Vp_machine.Descr.playdoh ~width:4
+let live_in = Vliw_vp.Pipeline.live_in
+let rate_all r (_ : Vp_ir.Operation.t) = Some r
+
+let pp_result ppf (r : Vp_engine.Dual_engine.result) =
+  Format.fprintf ppf
+    "{cycles=%d; vliw=%d; stalls=%d; flushed=%d; recomputed=%d; high=%d; \
+     mispred=%d; final=[%s]; stores=[%s]}"
+    r.cycles r.vliw_cycles r.stall_cycles r.flushed r.recomputed
+    r.ccb_high_water r.mispredicted
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) r.final_regs))
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) r.stores))
+
+let result = Alcotest.testable pp_result ( = )
+
+(* One shared arena across every test exercises cross-block reuse: each
+   compiled block must reset exactly the state it touches. *)
+let arena = Vp_engine.Compiled.Arena.create ()
+
+let reference_of (sb : Vp_vspec.Spec_block.t) =
+  Vp_engine.Reference.run sb.original_block
+    ~load_values:(fun id -> 1000 + (13 * id))
+    ~live_in
+
+let check_block ?ccb_capacity ?cce_retire_width label sb outcomes_list =
+  let reference = reference_of sb in
+  let compiled =
+    Vp_engine.Compiled.compile ?ccb_capacity ?cce_retire_width sb ~reference
+      ~live_in
+  in
+  (* A tight CCB can genuinely deadlock the machine; the kernel must then
+     deadlock exactly when the oracle does. *)
+  let under f =
+    try Ok (f ()) with Vp_engine.Dual_engine.Deadlock _ -> Error `Deadlock
+  in
+  List.iter
+    (fun outcomes ->
+      let oracle =
+        under (fun () ->
+            Vp_engine.Dual_engine.run ?ccb_capacity ?cce_retire_width sb
+              ~reference ~live_in ~outcomes)
+      in
+      let kernel =
+        under (fun () ->
+            Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+      in
+      Alcotest.check
+        (Alcotest.result result (Alcotest.of_pp (fun ppf `Deadlock ->
+             Format.fprintf ppf "deadlock")))
+        (Printf.sprintf "%s %s" label
+           (String.concat ""
+              (List.map
+                 (fun b -> if b then "C" else "W")
+                 (Array.to_list outcomes))))
+        oracle kernel)
+    outcomes_list
+
+(* --- The paper's worked example, all scenarios, several machine shapes --- *)
+
+let test_example_all_scenarios () =
+  let sb = Vliw_vp.Example.spec () in
+  let all = Vp_engine.Scenario.enumerate 2 in
+  check_block "example" sb all;
+  check_block ~ccb_capacity:1 "example ccb=1" sb all;
+  check_block ~ccb_capacity:2 ~cce_retire_width:2 "example ccb=2 w=2" sb all;
+  check_block ~cce_retire_width:4 "example w=4" sb all
+
+(* --- Random workload blocks x random outcome vectors --- *)
+
+let speculated_blocks =
+  lazy
+    (List.concat_map
+       (fun (model : Vp_workload.Spec_model.t) ->
+         List.filter_map
+           (fun seed ->
+             let block, _ =
+               Vp_workload.Block_gen.generate model
+                 ~rng:(Vp_util.Rng.create seed)
+                 ~stream_base:0
+                 ~label:(Printf.sprintf "%s-%d" model.name seed)
+             in
+             match
+               Vp_vspec.Transform.apply machine ~rate:(rate_all 0.9) block
+             with
+             | Vp_vspec.Transform.Speculated sb -> Some sb
+             | Vp_vspec.Transform.Unchanged _ -> None)
+           [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ])
+       Vp_workload.Spec_model.all)
+
+let outcome_vectors n ~rng ~draws =
+  if n <= 4 then Vp_engine.Scenario.enumerate n
+  else
+    List.init draws (fun _ ->
+        Array.init n (fun _ -> Vp_util.Rng.bool rng))
+
+let test_random_blocks () =
+  let blocks = Lazy.force speculated_blocks in
+  checkb "generators produced speculated blocks" true
+    (List.length blocks > 10);
+  let rng = Vp_util.Rng.create 2026 in
+  List.iter
+    (fun (sb : Vp_vspec.Spec_block.t) ->
+      let n = Array.length sb.predicted in
+      check_block
+        (Vp_ir.Block.label sb.block)
+        sb
+        (outcome_vectors n ~rng ~draws:12))
+    blocks
+
+let test_random_blocks_constrained () =
+  let rng = Vp_util.Rng.create 7 in
+  List.iteri
+    (fun i (sb : Vp_vspec.Spec_block.t) ->
+      if i mod 3 = 0 then
+        let n = Array.length sb.predicted in
+        check_block ~ccb_capacity:1 ~cce_retire_width:2
+          (Vp_ir.Block.label sb.block)
+          sb
+          (outcome_vectors n ~rng ~draws:6))
+    (Lazy.force speculated_blocks)
+
+let prop_kernel_matches_oracle =
+  QCheck.Test.make ~count:60
+    ~name:"compiled kernel = oracle on arbitrary blocks and outcomes"
+    QCheck.(triple small_int (int_bound 7) small_int)
+    (fun (seed, pick, oseed) ->
+      let models = Vp_workload.Spec_model.all in
+      let model = List.nth models (pick mod List.length models) in
+      let block, _ =
+        Vp_workload.Block_gen.generate model
+          ~rng:(Vp_util.Rng.create seed)
+          ~stream_base:0 ~label:"equiv"
+      in
+      match Vp_vspec.Transform.apply machine ~rate:(rate_all 0.8) block with
+      | Vp_vspec.Transform.Unchanged _ -> true
+      | Vp_vspec.Transform.Speculated sb ->
+          let reference = reference_of sb in
+          let compiled =
+            Vp_engine.Compiled.compile sb ~reference ~live_in
+          in
+          let n = Vp_engine.Compiled.num_predictions compiled in
+          let rng = Vp_util.Rng.create oseed in
+          List.for_all
+            (fun outcomes ->
+              Vp_engine.Dual_engine.run sb ~reference ~live_in ~outcomes
+              = Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+            (outcome_vectors n ~rng ~draws:8))
+
+(* --- Allocation regression --- *)
+
+(* The arena path's whole point: a scenario run allocates only the result
+   record and its lists. The oracle's hashtables/queues cost tens of
+   kilowords per run; a generous fixed budget still fails loudly if any
+   per-run structure creeps back in. *)
+let test_arena_allocation () =
+  let sb = Vliw_vp.Example.spec () in
+  let reference = Vliw_vp.Example.reference () in
+  let compiled = Vp_engine.Compiled.compile sb ~reference ~live_in in
+  let arena = Vp_engine.Compiled.Arena.create () in
+  let outcomes = [| true; false |] in
+  for _ = 1 to 3 do
+    ignore (Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+  done;
+  let runs = 100 in
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+  done;
+  let per_run = (Gc.minor_words () -. before) /. float_of_int runs in
+  checkb
+    (Printf.sprintf "per-run allocation %.0f words < 2048" per_run)
+    true (per_run < 2048.0)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "kernel_equiv"
+    [
+      ( "equivalence",
+        [
+          tc "worked example, all scenarios" test_example_all_scenarios;
+          tc "random workload blocks" test_random_blocks;
+          tc "random blocks, tight CCB / wide CCE"
+            test_random_blocks_constrained;
+          QCheck_alcotest.to_alcotest prop_kernel_matches_oracle;
+        ] );
+      ("allocation", [ tc "arena path stays flat" test_arena_allocation ]);
+    ]

@@ -149,6 +149,75 @@ let prop_wider_never_slower =
       in
       len 2 >= len 4 && len 4 >= len 8 && len 8 >= len 16)
 
+(* The production scheduler keeps a persistent rank-ordered ready set
+   updated on successor release; this naive rescan-everything-per-cycle
+   version is the textbook algorithm it must match issue-for-issue. *)
+let naive_schedule descr graph =
+  let n = Vp_ir.Depgraph.size graph in
+  let block = Vp_ir.Depgraph.block graph in
+  let prio = Vp_ir.Depgraph.priority graph in
+  let issue = Array.make n (-1) in
+  let remaining = ref n in
+  let npreds = Array.make n 0 in
+  let ready_time = Array.make n 0 in
+  for i = 0 to n - 1 do
+    npreds.(i) <- List.length (Vp_ir.Depgraph.preds graph i)
+  done;
+  let cycle = ref 0 in
+  while !remaining > 0 do
+    let ready = ref [] in
+    for i = n - 1 downto 0 do
+      if issue.(i) < 0 && npreds.(i) = 0 && ready_time.(i) <= !cycle then
+        ready := i :: !ready
+    done;
+    let ready =
+      List.sort
+        (fun a b ->
+          match compare prio.(b) prio.(a) with 0 -> compare a b | c -> c)
+        !ready
+    in
+    let total = ref 0 in
+    let per_class = Hashtbl.create 4 in
+    let class_count c =
+      Option.value ~default:0 (Hashtbl.find_opt per_class c)
+    in
+    List.iter
+      (fun i ->
+        let op = Vp_ir.Block.op block i in
+        if Vp_machine.Descr.fits descr ~total:!total ~per_class:class_count op
+        then begin
+          issue.(i) <- !cycle;
+          incr total;
+          let c = Vp_machine.Unit_class.of_opcode op.opcode in
+          Hashtbl.replace per_class c (class_count c + 1);
+          decr remaining;
+          List.iter
+            (fun (e : Vp_ir.Depgraph.edge) ->
+              npreds.(e.dst) <- npreds.(e.dst) - 1;
+              ready_time.(e.dst) <- max ready_time.(e.dst) (!cycle + e.delay))
+            (Vp_ir.Depgraph.succs graph i)
+        end)
+      ready;
+    incr cycle
+  done;
+  issue
+
+let prop_matches_naive_scheduler =
+  QCheck.Test.make
+    ~name:"ready-set scheduler issues identically to the naive rescan"
+    ~count:150 arbitrary_block (fun b ->
+      List.for_all
+        (fun d ->
+          let g =
+            Vp_ir.Depgraph.build ~latency:(Vp_machine.Descr.latency d) b
+          in
+          let s = Vp_sched.List_scheduler.schedule d g in
+          let naive = naive_schedule d g in
+          Array.for_all
+            (fun i -> Vp_sched.Schedule.issue_cycle s i = naive.(i))
+            (Array.init (Vp_ir.Depgraph.size g) (fun i -> i)))
+        machines)
+
 let prop_all_ops_scheduled =
   QCheck.Test.make ~name:"every operation receives exactly one issue cycle"
     ~count:150 arbitrary_block (fun b ->
@@ -185,5 +254,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_length_bounds;
           QCheck_alcotest.to_alcotest prop_wider_never_slower;
           QCheck_alcotest.to_alcotest prop_all_ops_scheduled;
+          QCheck_alcotest.to_alcotest prop_matches_naive_scheduler;
         ] );
     ]
