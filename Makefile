@@ -22,13 +22,16 @@ fmt:
 check: build test
 
 # Full regeneration + Bechamel timings; machine-readable ns/run lands in
-# BENCH.json. bench-smoke is the seconds-scale CI variant (timings only,
-# reduced measurement budget).
+# BENCH.json. bench-smoke is the seconds-scale CI variant: experiment-level
+# targets at a reduced measurement budget, kernel:* targets at full budget,
+# written to BENCH.smoke.json and gated against the committed BENCH.json
+# (>25% regression on any kernel:* target fails the build).
 bench:
 	dune exec bench/main.exe -- --json BENCH.json
 
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --json BENCH.json
+	dune exec bench/main.exe -- --smoke --json BENCH.smoke.json
+	dune exec bench/check.exe -- BENCH.json BENCH.smoke.json
 
 clean:
 	dune clean

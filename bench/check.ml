@@ -1,0 +1,153 @@
+(* Regression gate over BENCH.json files.
+
+       dune exec bench/check.exe -- BASELINE CANDIDATE [--max-regression R]
+
+   Both files are in the format written by [bench/main.ml]: a {"results":
+   [...]} object whose rows each carry a "name" string and a "ns_per_run"
+   number (or null when Bechamel produced no estimate). Only the
+   [kernel:*] targets gate the build — they are microsecond-scale and
+   measured at full Bechamel quota even under [--smoke], so their
+   run-to-run noise is small enough for a percentage threshold; the
+   experiment-level targets are reported for information only.
+
+   Exit status: 0 when every kernel target present in both files is
+   within [1 + R] of its baseline (default R = 0.25); 1 when any target
+   regressed or a baseline kernel target is missing from the candidate;
+   2 on usage or parse errors. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Minimal extraction matching the known writer: scan for each
+   ["name": "..."] key and take the ["ns_per_run": ...] value that
+   follows it. The names contain no escaped characters beyond what
+   [write_json] emits, and a backslash never precedes the closing quote
+   in practice, so an unescaping pass is unnecessary — but fail loudly
+   rather than misparse if one ever appears. *)
+let parse path : (string * float option) list =
+  let s = read_file path in
+  let len = String.length s in
+  let find_sub sub from =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > len then None
+      else if String.sub s i n = sub then Some (i + n)
+      else go (i + 1)
+    in
+    go from
+  in
+  let rec rows acc from =
+    match find_sub "\"name\": \"" from with
+    | None -> List.rev acc
+    | Some name_start -> (
+        match String.index_from_opt s name_start '"' with
+        | None -> failwith (path ^ ": unterminated name string")
+        | Some name_end ->
+            let name = String.sub s name_start (name_end - name_start) in
+            if String.contains name '\\' then
+              failwith (path ^ ": escaped benchmark name not supported: " ^ name);
+            let value_start =
+              match find_sub "\"ns_per_run\": " name_end with
+              | Some i -> i
+              | None -> failwith (path ^ ": no ns_per_run after " ^ name)
+            in
+            let value_end = ref value_start in
+            while
+              !value_end < len
+              && not (List.mem s.[!value_end] [ ','; '}'; '\n'; ' ' ])
+            do
+              incr value_end
+            done;
+            let raw = String.sub s value_start (!value_end - value_start) in
+            let value =
+              if raw = "null" then None
+              else
+                match float_of_string_opt raw with
+                | Some v -> Some v
+                | None ->
+                    failwith
+                      (Printf.sprintf "%s: bad ns_per_run for %s: %s" path name
+                         raw)
+            in
+            rows ((name, value) :: acc) !value_end)
+  in
+  rows [] 0
+
+let is_kernel name =
+  (* Names are grouped as "vliw-vp kernel:...". *)
+  let rec at i =
+    if i + 7 > String.length name then false
+    else if String.sub name i 7 = "kernel:" then true
+    else at (i + 1)
+  in
+  at 0
+
+let () =
+  let baseline_path = ref None
+  and candidate_path = ref None
+  and max_regression = ref 0.25 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--max-regression" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r > 0.0 ->
+            max_regression := r;
+            parse_args rest
+        | _ ->
+            prerr_endline ("check: bad --max-regression value: " ^ v);
+            exit 2)
+    | arg :: rest ->
+        (match (!baseline_path, !candidate_path) with
+        | None, _ -> baseline_path := Some arg
+        | Some _, None -> candidate_path := Some arg
+        | Some _, Some _ ->
+            prerr_endline ("check: unexpected argument: " ^ arg);
+            exit 2);
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, candidate_path =
+    match (!baseline_path, !candidate_path) with
+    | Some b, Some c -> (b, c)
+    | _ ->
+        prerr_endline
+          "usage: check BASELINE.json CANDIDATE.json [--max-regression R]";
+        exit 2
+  in
+  let baseline = parse baseline_path and candidate = parse candidate_path in
+  let failures = ref 0 in
+  Printf.printf "%-42s %14s %14s %9s\n" "target" "baseline ns" "candidate ns"
+    "delta";
+  List.iter
+    (fun (name, base) ->
+      let cand = Option.join (List.assoc_opt name candidate) in
+      let gated = is_kernel name in
+      match (base, cand) with
+      | Some b, Some c when b > 0.0 ->
+          let ratio = (c -. b) /. b in
+          let regressed = gated && ratio > !max_regression in
+          if regressed then incr failures;
+          Printf.printf "%-42s %14.1f %14.1f %+8.1f%%%s\n" name b c
+            (100.0 *. ratio)
+            (if regressed then "  REGRESSION"
+             else if gated then ""
+             else "  (info only)")
+      | Some _, None when gated ->
+          incr failures;
+          Printf.printf "%-42s %14s %14s %9s  MISSING\n" name "-" "-" "-"
+      | _ -> ())
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "check: %d kernel target(s) regressed more than %.0f%% vs %s\n"
+      !failures
+      (100.0 *. !max_regression)
+      baseline_path;
+    exit 1
+  end;
+  Printf.printf "check: all kernel targets within %.0f%% of %s\n"
+    (100.0 *. !max_regression)
+    baseline_path

@@ -75,6 +75,15 @@ let no_cache_t =
   let doc = "Disable the on-disk result cache." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let no_spec_cache_t =
+  let doc =
+    "Disable the in-memory spec-unit cache (per-block schedule, transform \
+     and compiled-kernel artifacts shared across sweep points). Output is \
+     byte-identical either way; this exists for benchmarking and \
+     debugging."
+  in
+  Arg.(value & flag & info [ "no-spec-cache" ] ~doc)
+
 let cache_dir_t =
   let doc = "Result-cache directory." in
   Arg.(
@@ -93,12 +102,16 @@ let telemetry_t =
 (* The flag vocabulary and its semantics live in [Vp_exec.Cli], shared with
    the bench harness; this front end only maps cmdliner terms onto it. *)
 let exec_opts_t =
-  let pack jobs no_cache cache_dir telemetry =
-    { Vp_exec.Cli.jobs; no_cache; cache_dir; telemetry }
+  let pack jobs no_cache no_spec_cache cache_dir telemetry =
+    { Vp_exec.Cli.jobs; no_cache; no_spec_cache; cache_dir; telemetry }
   in
-  Term.(const pack $ jobs_t $ no_cache_t $ cache_dir_t $ telemetry_t)
+  Term.(
+    const pack $ jobs_t $ no_cache_t $ no_spec_cache_t $ cache_dir_t
+    $ telemetry_t)
 
-let make_exec = Vp_exec.Cli.context ?progress:None
+let make_exec (opts : Vp_exec.Cli.opts) =
+  Vliw_vp.Spec_unit.set_enabled (not opts.no_spec_cache);
+  Vp_exec.Cli.context ?progress:None opts
 let emit_telemetry = Vp_exec.Cli.emit_telemetry
 
 let with_setup f =

@@ -184,9 +184,14 @@ let job_key ~kind ~(config : Config.t) payload =
      their [Marshal] bytes. [Closures] is required because benchmark models
      embed value-stream generators; closure serialization is stable within
      one binary, which is exactly the cache's validity domain (the store's
-     version header is the executable digest). *)
+     version header is the executable digest). The spec-unit artifact
+     version is hashed in because every experiment result is derived from
+     those artifacts: bumping it must invalidate derived entries too. *)
   Digest.to_hex
-    (Digest.string (Marshal.to_string (kind, payload, config) [ Marshal.Closures ]))
+    (Digest.string
+       (Marshal.to_string
+          (kind, Spec_unit.version, payload, config)
+          [ Marshal.Closures ]))
 
 let bench_job ~config (model : Vp_workload.Spec_model.t) =
   Vp_exec.Job.make

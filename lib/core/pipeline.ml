@@ -10,6 +10,8 @@ type spec_eval = {
   sb : Vp_vspec.Spec_block.t;
   rates : float array;
   scenarios : scenario_eval list;
+  draws : int;
+  unique_scenarios : int;
   best : Vp_engine.Dual_engine.result;
   worst : Vp_engine.Dual_engine.result;
   p_all_correct : float;
@@ -97,39 +99,40 @@ let prep_spec config workload (wb : Vp_ir.Program.weighted_block) sb =
     prep_recovery = recovery;
   }
 
-(* Simulate a block's whole scenario set: compile the block once into the
-   flat-array kernel, then replay outcome vectors against a private arena.
-   A result is a pure function of the outcome vector (the block, reference,
-   live-ins and machine configuration are fixed at compile time), so
-   repeated vectors — Monte-Carlo duplicates, and the all-correct /
-   all-incorrect vectors the best/worst columns need, which the enumerated
-   scenario list already contains — are simulated once and looked up. *)
+(* Simulate a block's whole scenario set: compile the block once (through
+   the spec-unit cache, so sweep points sharing the transform also share
+   the kernel), then replay the whole vector set as one scenario tree.
+   [Compiled.run_batch] checkpoints the machine at each check-prediction
+   branch point instead of replaying shared prefixes, and routes duplicate
+   vectors — Monte-Carlo collisions, and the all-correct / all-incorrect
+   vectors the best/worst columns need, which the enumerated scenario list
+   already contains — to one leaf simulation. *)
 let simulate_batch config prep =
   let compiled =
-    Vp_engine.Compiled.compile ?ccb_capacity:config.Config.ccb_capacity
-      ~cce_retire_width:config.Config.cce_retire_width prep.prep_sb
-      ~reference:prep.prep_reference ~live_in
+    Spec_unit.compiled ?ccb_capacity:config.Config.ccb_capacity
+      ~cce_retire_width:config.Config.cce_retire_width ~live_in prep.prep_sb
+      ~reference:prep.prep_reference
   in
   let arena = Vp_engine.Compiled.Arena.create () in
-  let cache : (Vp_engine.Scenario.t, Vp_engine.Dual_engine.result) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let simulate outcomes =
-    match Hashtbl.find_opt cache outcomes with
-    | Some r -> r
-    | None ->
-        let r = Vp_engine.Compiled.run_scenario compiled arena ~outcomes in
-        Hashtbl.add cache outcomes r;
-        r
-  in
   let n = Array.length prep.prep_rates in
-  let results = List.map (fun (o, _) -> simulate o) prep.prep_vectors in
-  let best = simulate (Vp_engine.Scenario.all_correct n) in
-  let worst = simulate (Vp_engine.Scenario.all_incorrect n) in
-  (results, best, worst)
+  let draws = Array.of_list (List.map fst prep.prep_vectors) in
+  let nvec = Array.length draws in
+  let vectors =
+    Array.append draws
+      [|
+        Vp_engine.Scenario.all_correct n; Vp_engine.Scenario.all_incorrect n;
+      |]
+  in
+  let all = Vp_engine.Compiled.run_batch compiled arena ~vectors in
+  let unique =
+    let seen = Hashtbl.create 16 in
+    Array.iter (fun v -> Hashtbl.replace seen v ()) draws;
+    Hashtbl.length seen
+  in
+  (Array.to_list (Array.sub all 0 nvec), all.(nvec), all.(nvec + 1), unique)
 
 (* Reattach batch results to the outcome-independent half. *)
-let eval_of_prep prep (results, best, worst) =
+let eval_of_prep prep (results, best, worst, unique) =
   let scenarios =
     List.map2
       (fun (outcomes, probability) result ->
@@ -151,6 +154,8 @@ let eval_of_prep prep (results, best, worst) =
     sb = prep.prep_sb;
     rates;
     scenarios;
+    draws = List.length prep.prep_vectors;
+    unique_scenarios = unique;
     best;
     worst;
     p_all_correct =
@@ -163,13 +168,17 @@ let eval_of_prep prep (results, best, worst) =
 
 let batch_key config prep =
   (* Content address of one block's scenario batch: everything the results
-     depend on. [Closures] for the same reason as the experiment layer's
-     keys — models and graphs may embed closures, and the store is only
-     valid within one binary anyway. *)
+     depend on, including the spec-unit artifact version — a version bump
+     changes what the cached transform/schedule/kernel artifacts mean, so
+     batch results derived from them must not survive it either.
+     [Closures] for the same reason as the experiment layer's keys —
+     models and graphs may embed closures, and the store is only valid
+     within one binary anyway. *)
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
           ( "scenario-batch",
+            Spec_unit.version,
             prep.prep_sb,
             prep.prep_reference,
             prep.prep_vectors,
@@ -256,22 +265,31 @@ let run_program ?(config = Config.default)
           ?predictors:config.profile_predictors workload
   in
   (* Pass 1 (sequential): schedule, transform and prepare every block in
-     order — value-stream draws and profiling stay deterministic. *)
+     order — value-stream draws and profiling stay deterministic. Both
+     artifacts go through the spec-unit cache: sweep points that vary only
+     the CCE shape, the scenario caps or the threshold reuse a
+     neighbouring config's schedule and transform instead of recomputing
+     them (and, when the run has a store, reuse them across runs too). *)
+  let store = exec.Vp_exec.Context.store in
   let pre =
     Array.mapi
       (fun index (wb : Vp_ir.Program.weighted_block) ->
-        let rate (op : Vp_ir.Operation.t) =
-          Vp_profile.Value_profile.rate profile ~block:index ~op:op.id
+        let rates =
+          Array.map
+            (fun (op : Vp_ir.Operation.t) ->
+              if Vp_ir.Operation.is_load op then
+                Vp_profile.Value_profile.rate profile ~block:index ~op:op.id
+              else None)
+            (Vp_ir.Block.ops wb.block)
         in
-        let original_schedule =
-          Vp_sched.List_scheduler.schedule_block descr wb.block
-        in
+        let original_schedule = Spec_unit.schedule ?store descr wb.block in
         let original_cycles = Vp_sched.Schedule.length original_schedule in
         let original_instructions =
           Vp_sched.Schedule.num_instructions original_schedule
         in
         match
-          Vp_vspec.Transform.apply ~policy:config.policy descr ~rate wb.block
+          Spec_unit.transform ?store ~policy:config.policy descr ~rates
+            wb.block
         with
         | Vp_vspec.Transform.Unchanged reason ->
             ( index,

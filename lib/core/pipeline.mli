@@ -29,6 +29,13 @@ type spec_eval = {
   sb : Vp_vspec.Spec_block.t;
   rates : float array;  (** per prediction, profiled rate *)
   scenarios : scenario_eval list;
+  draws : int;
+      (** evaluated outcome vectors — [2^k] when enumerated, the
+          Monte-Carlo draw count when sampled *)
+  unique_scenarios : int;
+      (** distinct vectors among them; sampling duplicates collapse to one
+          simulated leaf of the scenario tree, so [draws - unique_scenarios]
+          simulations were saved *)
   best : Vp_engine.Dual_engine.result;  (** all predictions correct *)
   worst : Vp_engine.Dual_engine.result;  (** all predictions incorrect *)
   p_all_correct : float;
@@ -77,10 +84,15 @@ val run_program :
     recomputing identical rates.
 
     Simulation is batched: each speculated block is lowered once by
-    [Vp_engine.Compiled] and its whole scenario set — with repeated outcome
-    vectors deduplicated — runs as one [exec] job against a reusable arena.
-    [exec] defaults to [Vp_exec.Context.sequential] (inline, no cache);
-    results are bit-identical for any worker count. *)
+    [Vp_engine.Compiled] — through the {!Spec_unit} cache, as are the
+    baseline schedule and the transform, so sweep points varying only the
+    CCE shape or the policy threshold reuse neighbouring artifacts — and
+    its whole scenario set runs as one [exec] job via
+    [Vp_engine.Compiled.run_batch], which replays the vectors as a
+    prefix-sharing tree and collapses repeated outcome vectors into one
+    leaf. [exec] defaults to [Vp_exec.Context.sequential] (inline, no
+    cache); results are bit-identical for any worker count, and for any
+    spec-unit cache state (on, off, cold, warm). *)
 
 val live_in : int -> int
 (** The deterministic live-in register values used for every simulation

@@ -1,0 +1,204 @@
+(* Shared spec-unit cache: per-block schedule / transform / compiled-kernel
+   artifacts, memoized across sweep points (and, store-backed, across
+   runs). See the interface for the key construction and the threshold
+   normalization argument. *)
+
+let version = 1
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let mutex = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+let evictions = ref 0
+let stats () = { hits = !hits; misses = !misses; evictions = !evictions }
+
+(* Content-keyed tables: schedules and transform outcomes. Both key and
+   value are only meaningful within one binary ([Marshal.Closures] digests
+   code pointers), which is also the on-disk store's own versioning
+   contract. *)
+let sched_tbl : (string, Vp_sched.Schedule.t) Hashtbl.t = Hashtbl.create 256
+
+let xform_tbl : (string, Vp_vspec.Transform.outcome) Hashtbl.t =
+  Hashtbl.create 256
+
+(* A hard cap keeps unbounded sweeps from growing the tables forever; a
+   full reset is crude but the working set of one sweep refills in a few
+   hundred microseconds. *)
+let table_cap = 8192
+
+let digest_key payload =
+  Digest.to_hex (Digest.string (Marshal.to_string payload [ Marshal.Closures ]))
+
+(* Memory, then store, then compute — computation runs outside the lock,
+   so racing domains can duplicate work but never see a partial entry. *)
+let cached (tbl : (string, 'a) Hashtbl.t) ?store ~key (compute : unit -> 'a) :
+    'a =
+  if not (enabled ()) then compute ()
+  else
+    let mem = Mutex.protect mutex (fun () -> Hashtbl.find_opt tbl key) in
+    match mem with
+    | Some v ->
+        Mutex.protect mutex (fun () -> incr hits);
+        v
+    | None ->
+        let from_store =
+          match store with
+          | None -> None
+          | Some s -> (
+              match Vp_exec.Store.find s ~key with
+              | Vp_exec.Store.Hit v -> Some v
+              | Vp_exec.Store.Miss | Vp_exec.Store.Evicted -> None)
+        in
+        let v, was_hit =
+          match from_store with
+          | Some v -> (v, true)
+          | None ->
+              let v = compute () in
+              (match store with
+              | Some s -> Vp_exec.Store.put s ~key v
+              | None -> ());
+              (v, false)
+        in
+        Mutex.protect mutex (fun () ->
+            if was_hit then incr hits else incr misses;
+            if Hashtbl.length tbl >= table_cap then begin
+              evictions := !evictions + Hashtbl.length tbl;
+              Hashtbl.reset tbl
+            end;
+            if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
+        v
+
+let schedule ?store descr block =
+  let key = digest_key ("spec-unit-schedule", version, descr, block) in
+  cached sched_tbl ?store ~key (fun () ->
+      Vp_sched.List_scheduler.schedule_block descr block)
+
+(* The transform reads the threshold only through the predicate
+   [rate >= threshold] (selection; the no-candidates message inverts it),
+   so masking failing rates to [None] and running with threshold 0.0 is
+   exact — every rate in [0,1] passes 0.0 iff it survived the mask — and
+   lets sweep points that differ only in threshold share the entry. The
+   single threshold-dependent output, the "no load above the %.2f profile
+   threshold" message, is rewritten on the way out. *)
+let threshold_msg_prefix = "no load above the "
+
+let transform ?store ~(policy : Vp_vspec.Policy.t) descr
+    ~(rates : float option array) block =
+  let masked =
+    Array.map
+      (function
+        | Some r when r >= policy.Vp_vspec.Policy.threshold -> Some r
+        | Some _ | None -> None)
+      rates
+  in
+  let policy0 = { policy with Vp_vspec.Policy.threshold = 0.0 } in
+  let key =
+    digest_key ("spec-unit-transform", version, descr, policy0, masked, block)
+  in
+  let outcome =
+    cached xform_tbl ?store ~key (fun () ->
+        let baseline = schedule ?store descr block in
+        Vp_vspec.Transform.apply ~policy:policy0 ~baseline descr
+          ~rate:(fun (op : Vp_ir.Operation.t) -> masked.(op.id))
+          block)
+  in
+  match outcome with
+  | Vp_vspec.Transform.Unchanged msg
+    when String.length msg >= String.length threshold_msg_prefix
+         && String.sub msg 0 (String.length threshold_msg_prefix)
+            = threshold_msg_prefix ->
+      Vp_vspec.Transform.Unchanged
+        (Printf.sprintf "no load above the %.2f profile threshold"
+           policy.Vp_vspec.Policy.threshold)
+  | o -> o
+
+(* Compiled kernels: keyed physically on the spec block. The reuse this
+   cache exists for — the same block under several CCE shapes, or repeated
+   runs of one sweep point — always goes through the transform cache first
+   and therefore holds the same physical [sb]; content-digesting a whole
+   spec block would cost more than the compile it saves. *)
+type compiled_entry = {
+  ce_ccb : int option;
+  ce_cce : int;
+  ce_live_in : int -> int;
+  ce_reference : Vp_engine.Reference.t;
+  ce_compiled : Vp_engine.Compiled.t;
+}
+
+module Phys_tbl = Hashtbl.Make (struct
+  type t = Vp_vspec.Spec_block.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let comp_tbl : compiled_entry list ref Phys_tbl.t = Phys_tbl.create 256
+let comp_cap = 1024
+let comp_entries_cap = 8
+
+let compiled ?ccb_capacity ~cce_retire_width ~live_in sb ~reference =
+  if not (enabled ()) then
+    Vp_engine.Compiled.compile ?ccb_capacity ~cce_retire_width sb ~reference
+      ~live_in
+  else
+    let find () =
+      match Phys_tbl.find_opt comp_tbl sb with
+      | None -> None
+      | Some entries ->
+          List.find_opt
+            (fun e ->
+              e.ce_ccb = ccb_capacity
+              && e.ce_cce = cce_retire_width
+              && e.ce_live_in == live_in
+              && e.ce_reference = reference)
+            !entries
+    in
+    match Mutex.protect mutex find with
+    | Some e ->
+        Mutex.protect mutex (fun () -> incr hits);
+        e.ce_compiled
+    | None ->
+        let compiled =
+          Vp_engine.Compiled.compile ?ccb_capacity ~cce_retire_width sb
+            ~reference ~live_in
+        in
+        Mutex.protect mutex (fun () ->
+            incr misses;
+            if Phys_tbl.length comp_tbl >= comp_cap then begin
+              evictions := !evictions + Phys_tbl.length comp_tbl;
+              Phys_tbl.reset comp_tbl
+            end;
+            let entries =
+              match Phys_tbl.find_opt comp_tbl sb with
+              | Some entries -> entries
+              | None ->
+                  let entries = ref [] in
+                  Phys_tbl.add comp_tbl sb entries;
+                  entries
+            in
+            entries :=
+              {
+                ce_ccb = ccb_capacity;
+                ce_cce = cce_retire_width;
+                ce_live_in = live_in;
+                ce_reference = reference;
+                ce_compiled = compiled;
+              }
+              :: (if List.length !entries >= comp_entries_cap then
+                    List.filteri (fun i _ -> i < comp_entries_cap - 1) !entries
+                  else !entries));
+        compiled
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset sched_tbl;
+      Hashtbl.reset xform_tbl;
+      Phys_tbl.reset comp_tbl;
+      hits := 0;
+      misses := 0;
+      evictions := 0)

@@ -55,3 +55,22 @@ val run_scenario : t -> Arena.t -> outcomes:Scenario.t -> Dual_engine.result
     captured at compile time; the only per-run allocation is the [result]
     record and its lists. Raises [Dual_engine.Deadlock] as the oracle
     does. *)
+
+val run_batch : t -> Arena.t -> vectors:Scenario.t array -> Dual_engine.result array
+(** [run_batch t arena ~vectors] simulates a whole outcome-vector set in
+    one pass and returns the results in input order, each structurally
+    equal to [run_scenario t arena ~outcomes:vectors.(i)].
+
+    Vectors are replayed as a tree: the machine state depends only on the
+    outcome bits already read, and the first read of bit [k] happens no
+    earlier than the issue of the instruction holding prediction [k]'s
+    LdPred or check op — so the simulation pauses just before each such
+    {e decision instruction}, partitions the still-compatible vectors by
+    the bits that instruction decides, checkpoints the arena once per
+    branch point and restores it per branch instead of replaying the
+    shared prefix. Duplicate vectors reach the same leaf and share one
+    simulation (and one physical [result] record).
+
+    If any vector deadlocks, raises the [Dual_engine.Deadlock] of the
+    {e first such vector in input order} — exactly what a per-vector loop
+    over [run_scenario] would raise. *)

@@ -5,11 +5,17 @@
     the same semantics, defined once here: [--jobs N], [--no-cache],
     [--cache-dir DIR] and [--telemetry FILE]. The cmdliner front end maps
     its parsed terms onto {!opts}; plain front ends call {!parse}
-    directly. *)
+    directly.
+
+    [--no-spec-cache] is parsed here for uniformity but applied by the
+    caller (the spec-unit cache lives above this library): front ends must
+    forward [opts.no_spec_cache] to [Vliw_vp.Spec_unit.set_enabled]. *)
 
 type opts = {
   jobs : int;  (** worker domains; 1 = sequential *)
   no_cache : bool;  (** disable the on-disk result {!Store} *)
+  no_spec_cache : bool;
+      (** disable the in-memory per-block artifact (spec-unit) cache *)
   cache_dir : string;
   telemetry : string option;
       (** where to write the JSON telemetry summary; ["-"] = stderr *)
@@ -28,7 +34,10 @@ val parse : string list -> (opts * string list, string) result
     on a malformed or missing flag value. *)
 
 val context : ?progress:Progress.t -> opts -> Context.t
-(** Build the execution context the options describe. *)
+(** Build the execution context the options describe. An unusable cache
+    directory (uncreatable, not a directory, or read-only — probed with
+    one temp-file write) downgrades to a storeless context with a single
+    [stderr] warning instead of failing per job. *)
 
 val emit_telemetry : opts -> Context.t -> unit
 (** Write the context's telemetry summary to the configured destination,

@@ -520,10 +520,18 @@ let build_spec policy descr orig_graph orig_sched ~rate block selection =
     sync_bits_used;
   }
 
-let apply ?(policy = Policy.default) descr ~rate block =
+let apply ?(policy = Policy.default) ?baseline descr ~rate block =
   let latency = Vp_machine.Descr.latency descr in
-  let orig_graph = Vp_ir.Depgraph.build ~latency block in
-  let orig_sched = Vp_sched.List_scheduler.schedule descr orig_graph in
+  let orig_graph, orig_sched =
+    match baseline with
+    | Some sched ->
+        if Vp_ir.Block.size (Vp_sched.Schedule.block sched) <> Vp_ir.Block.size block
+        then invalid_arg "Transform.apply: baseline schedules another block";
+        (Vp_sched.Schedule.graph sched, sched)
+    | None ->
+        let graph = Vp_ir.Depgraph.build ~latency block in
+        (graph, Vp_sched.List_scheduler.schedule descr graph)
+  in
   let no_candidates_reason () =
     let loads = Vp_ir.Block.loads block in
     if loads = [] then "no loads"

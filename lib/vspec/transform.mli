@@ -37,9 +37,16 @@ type outcome =
 
 val apply :
   ?policy:Policy.t ->
+  ?baseline:Vp_sched.Schedule.t ->
   Vp_machine.Descr.t ->
   rate:(Vp_ir.Operation.t -> float option) ->
   Vp_ir.Block.t ->
   outcome
 (** [rate op] is the profiled value-prediction rate of load [op] ([None] if
-    unprofiled, which disqualifies it). *)
+    unprofiled, which disqualifies it).
+
+    [baseline] supplies a precomputed list schedule of [block] on the same
+    machine (e.g. from the spec-unit cache) so the transform reuses its
+    dependence graph and baseline schedule instead of rebuilding them; it
+    must schedule a structurally-equal block or the outcome is undefined
+    ([Invalid_argument] on a size mismatch). *)

@@ -153,6 +153,43 @@ let test_store_rejects_stale_version () =
   | Vp_exec.Store.Evicted -> ()
   | _ -> Alcotest.fail "expected stale-version entry to be evicted"
 
+let test_spec_unit_version_bump_evicts () =
+  (* Spec-unit artifacts written through an old-version store must be
+     recomputed, not resurrected, after a version bump of the same cache
+     directory. *)
+  let dir = fresh_dir () in
+  let machine = Vp_machine.Descr.playdoh ~width:4 in
+  let block =
+    fst
+      (Vp_workload.Block_gen.generate
+         (List.hd Vp_workload.Spec_model.all)
+         ~rng:(Vp_util.Rng.create 1)
+         ~stream_base:0 ~label:"vbump")
+  in
+  Vliw_vp.Spec_unit.clear ();
+  let old_store = Vp_exec.Store.create ~version:"v-old" ~dir () in
+  ignore (Vliw_vp.Spec_unit.schedule ~store:old_store machine block);
+  checki "computed once" 1 (Vliw_vp.Spec_unit.stats ()).misses;
+  Vliw_vp.Spec_unit.clear ();
+  let bumped = Vp_exec.Store.create ~version:"v-new" ~dir () in
+  ignore (Vliw_vp.Spec_unit.schedule ~store:bumped machine block);
+  let stats = Vliw_vp.Spec_unit.stats () in
+  checki "recomputed under new version" 1 stats.misses;
+  checki "no stale hit" 0 stats.hits
+
+let test_cli_context_unusable_cache_dir () =
+  (* A cache path that exists but is a file: [Store.create] raises, and
+     [Cli.context] must downgrade to a storeless context (with one stderr
+     warning) instead of failing — or worse, failing once per job. *)
+  let file = Filename.temp_file "vpexec" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let ctx =
+        Vp_exec.Cli.context { Vp_exec.Cli.default with cache_dir = file }
+      in
+      checkb "store disabled" true (Option.is_none ctx.Vp_exec.Context.store))
+
 (* --- Experiment wiring --- *)
 
 let test_experiments_parallel_determinism () =
@@ -226,6 +263,8 @@ let () =
           tc "round trip" test_store_round_trip;
           tc "evicts corrupt" test_store_evicts_corrupt;
           tc "rejects stale version" test_store_rejects_stale_version;
+          tc "spec-unit version bump evicts" test_spec_unit_version_bump_evicts;
+          tc "unusable cache dir downgrades" test_cli_context_unusable_cache_dir;
         ] );
       ( "experiments",
         [

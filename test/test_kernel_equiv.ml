@@ -155,6 +155,115 @@ let prop_kernel_matches_oracle =
               = Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
             (outcome_vectors n ~rng ~draws:8))
 
+(* --- Scenario-tree batch mode vs per-vector replay --- *)
+
+(* [run_batch] must be observationally identical to mapping [run_scenario]
+   over the vectors — including on duplicated vectors, and including the
+   deadlock behaviour of a per-vector loop (first deadlocking vector in
+   input order wins) on constrained CCB/CCE shapes. *)
+let check_batch ?ccb_capacity ?cce_retire_width label sb vectors =
+  let reference = reference_of sb in
+  let compiled =
+    Vp_engine.Compiled.compile ?ccb_capacity ?cce_retire_width sb ~reference
+      ~live_in
+  in
+  let under f =
+    try Ok (f ())
+    with Vp_engine.Dual_engine.Deadlock m -> Error (`Deadlock m)
+  in
+  let seq =
+    under (fun () ->
+        Array.map
+          (fun outcomes ->
+            Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+          vectors)
+  in
+  let batch =
+    under (fun () -> Vp_engine.Compiled.run_batch compiled arena ~vectors)
+  in
+  Alcotest.check
+    (Alcotest.result
+       (Alcotest.array result)
+       (Alcotest.of_pp (fun ppf (`Deadlock m) ->
+            Format.fprintf ppf "deadlock: %s" m)))
+    label seq batch
+
+let batch_vectors n ~rng =
+  (* enumerated prefix + random draws + deliberate duplicates *)
+  let enum = if n <= 3 then Vp_engine.Scenario.enumerate n else [] in
+  let draws =
+    List.init 10 (fun _ -> Array.init n (fun _ -> Vp_util.Rng.bool rng))
+  in
+  let all = enum @ draws in
+  Array.of_list (all @ [ List.hd all ] @ [ List.nth all (List.length all / 2) ])
+
+let test_batch_equivalence () =
+  let rng = Vp_util.Rng.create 42 in
+  List.iter
+    (fun (sb : Vp_vspec.Spec_block.t) ->
+      let n = Array.length sb.predicted in
+      check_batch
+        (Vp_ir.Block.label sb.block)
+        sb
+        (batch_vectors n ~rng))
+    (Lazy.force speculated_blocks)
+
+let test_batch_equivalence_constrained () =
+  let rng = Vp_util.Rng.create 43 in
+  List.iteri
+    (fun i (sb : Vp_vspec.Spec_block.t) ->
+      let n = Array.length sb.predicted in
+      if i mod 2 = 0 then
+        check_batch ~ccb_capacity:1
+          (Printf.sprintf "%s ccb=1" (Vp_ir.Block.label sb.block))
+          sb
+          (batch_vectors n ~rng)
+      else
+        check_batch ~ccb_capacity:2 ~cce_retire_width:2
+          (Printf.sprintf "%s ccb=2 w=2" (Vp_ir.Block.label sb.block))
+          sb
+          (batch_vectors n ~rng))
+    (Lazy.force speculated_blocks)
+
+let prop_batch_matches_per_vector =
+  QCheck.Test.make ~count:60
+    ~name:"run_batch = per-vector run_scenario on arbitrary blocks"
+    QCheck.(quad small_int (int_bound 7) small_int (int_bound 2))
+    (fun (seed, pick, oseed, shape) ->
+      let models = Vp_workload.Spec_model.all in
+      let model = List.nth models (pick mod List.length models) in
+      let block, _ =
+        Vp_workload.Block_gen.generate model
+          ~rng:(Vp_util.Rng.create seed)
+          ~stream_base:0 ~label:"batch-equiv"
+      in
+      match Vp_vspec.Transform.apply machine ~rate:(rate_all 0.8) block with
+      | Vp_vspec.Transform.Unchanged _ -> true
+      | Vp_vspec.Transform.Speculated sb ->
+          let ccb_capacity, cce_retire_width =
+            match shape with 0 -> (None, None) | 1 -> (Some 1, None)
+            | _ -> (Some 2, Some 2)
+          in
+          let reference = reference_of sb in
+          let compiled =
+            Vp_engine.Compiled.compile ?ccb_capacity ?cce_retire_width sb
+              ~reference ~live_in
+          in
+          let n = Vp_engine.Compiled.num_predictions compiled in
+          let rng = Vp_util.Rng.create oseed in
+          let vectors = batch_vectors n ~rng in
+          let under f =
+            try Ok (f ())
+            with Vp_engine.Dual_engine.Deadlock m -> Error m
+          in
+          under (fun () ->
+              Array.map
+                (fun outcomes ->
+                  Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+                vectors)
+          = under (fun () ->
+                Vp_engine.Compiled.run_batch compiled arena ~vectors))
+
 (* --- Allocation regression --- *)
 
 (* The arena path's whole point: a scenario run allocates only the result
@@ -191,6 +300,13 @@ let () =
           tc "random blocks, tight CCB / wide CCE"
             test_random_blocks_constrained;
           QCheck_alcotest.to_alcotest prop_kernel_matches_oracle;
+        ] );
+      ( "scenario-tree",
+        [
+          tc "batch = per-vector on random blocks" test_batch_equivalence;
+          tc "batch = per-vector, tight CCB / wide CCE"
+            test_batch_equivalence_constrained;
+          QCheck_alcotest.to_alcotest prop_batch_matches_per_vector;
         ] );
       ("allocation", [ tc "arena path stays flat" test_arena_allocation ]);
     ]
