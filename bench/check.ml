@@ -119,6 +119,7 @@ let () =
   in
   let baseline = parse baseline_path and candidate = parse candidate_path in
   let failures = ref 0 in
+  let kernel_deltas = ref [] in
   Printf.printf "%-42s %14s %14s %9s\n" "target" "baseline ns" "candidate ns"
     "delta";
   List.iter
@@ -130,6 +131,7 @@ let () =
           let ratio = (c -. b) /. b in
           let regressed = gated && ratio > !max_regression in
           if regressed then incr failures;
+          if gated then kernel_deltas := ratio :: !kernel_deltas;
           Printf.printf "%-42s %14.1f %14.1f %+8.1f%%%s\n" name b c
             (100.0 *. ratio)
             (if regressed then "  REGRESSION"
@@ -138,8 +140,35 @@ let () =
       | Some _, None when gated ->
           incr failures;
           Printf.printf "%-42s %14s %14s %9s  MISSING\n" name "-" "-" "-"
+      | Some b, None ->
+          Printf.printf "%-42s %14.1f %14s %9s  (not in candidate)\n" name b
+            "-" "-"
       | _ -> ())
     baseline;
+  (* Candidate-only rows: targets this change introduces. They cannot gate
+     (no baseline yet) but must be visible in CI logs, so a refreshed
+     BENCH.json is not the first time anyone sees them. *)
+  List.iter
+    (fun (name, cand) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-42s %14s %14s %9s  NEW%s\n" name "-"
+          (match cand with Some c -> Printf.sprintf "%.1f" c | None -> "-")
+          "-"
+          (if is_kernel name then " (gates once in BENCH.json)" else ""))
+    candidate;
+  (* One summary line per run so the perf trajectory is scannable from CI
+     logs alone, pass or fail. *)
+  (match List.sort compare !kernel_deltas with
+  | [] -> ()
+  | sorted ->
+      let n = List.length sorted in
+      let median = List.nth sorted (n / 2) in
+      let worst = List.nth sorted (n - 1) in
+      let best = List.hd sorted in
+      Printf.printf
+        "check: kernel delta vs %s: median %+.1f%%, best %+.1f%%, worst \
+         %+.1f%% over %d target(s)\n"
+        baseline_path (100.0 *. median) (100.0 *. best) (100.0 *. worst) n);
   if !failures > 0 then begin
     Printf.eprintf
       "check: %d kernel target(s) regressed more than %.0f%% vs %s\n"

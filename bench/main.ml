@@ -101,11 +101,7 @@ let full_run () =
     "Extension: hardware-mode validation (run-time VP table vs profile expectation)";
   print_string
     (Vliw_vp.Trace_sim.render
-       (List.map
-          (fun s ->
-            ( Vliw_vp.Experiments.name s,
-              Vliw_vp.Trace_sim.run s.Vliw_vp.Experiments.pipeline ))
-          summaries));
+       (Vliw_vp.Experiments.hardware_validation ~exec models));
   section "Ablations (compress)";
   let ablation title sweep =
     print_string
@@ -248,6 +244,32 @@ let tests =
             Vp_predict.Predictor.accuracy
               (Vp_predict.Stride.as_predictor ())
               values));
+    (* The unboxed fast lane on the same 512 values: the paper's predictor
+       pair (stride + order-2 FCM) scored in one pass. Compare against
+       kernel:stride-predictor, which pays the closure/option cost for the
+       stride half alone. *)
+    Test.make ~name:"kernel:predictor-pass"
+      (Staged.stage
+         (let values = Array.init 512 (fun i -> 7 * i) in
+          let kinds =
+            [
+              Vp_predict.Predictor.Stride;
+              Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+            ]
+          in
+          fun () ->
+            Vp_predict.Kernel.accuracies ~kinds values ~off:0 ~len:512));
+    (* A whole value profile of the bench model over warm stream arenas —
+       the profiling path the tables/figure sweeps pay on their first run
+       per (model, seed, predictors). Reduced sample cap so the target
+       stays comfortably microsecond-scale under the kernel gate. *)
+    Test.make ~name:"kernel:value-profile"
+      (Staged.stage
+         (let w = Vp_workload.Workload.generate bench_model in
+          let () =
+            ignore (Vp_profile.Value_profile.profile ~max_samples:500 w)
+          in
+          fun () -> Vp_profile.Value_profile.profile ~max_samples:500 w));
   ]
 
 let run_bechamel () =

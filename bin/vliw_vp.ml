@@ -361,11 +361,7 @@ let hardware_cmd =
   let f ~config ~exec ~models =
     print_string
       (Vliw_vp.Trace_sim.render
-         (List.map
-            (fun model ->
-              ( model.Vp_workload.Spec_model.name,
-                Vliw_vp.Trace_sim.run (Vliw_vp.Pipeline.run ~config ~exec model) ))
-            models))
+         (Vliw_vp.Experiments.hardware_validation ~config ~exec models))
   in
   Cmd.v
     (Cmd.info "hardware"

@@ -572,6 +572,24 @@ let overlap_validation ?(config = Config.default)
            (fun _ctx -> row model))
        models)
 
+(* Hardware-mode validation: one job per (config, benchmark) point. Each
+   job rebuilds its pipeline from the model — deterministic in (config,
+   model), and the spec-unit caches make the rebuild cheap when the
+   profile-driven sweeps already ran — so the trace results are
+   content-addressed and parallelize like every other experiment. *)
+let hardware_validation ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential) ?executions models =
+  Vp_exec.Context.map_exn exec
+    (List.map
+       (fun (model : Vp_workload.Spec_model.t) ->
+         Vp_exec.Job.make
+           ~label:("hardware:" ^ model.Vp_workload.Spec_model.name)
+           ~key:(job_key ~kind:"hardware" ~config (model, executions))
+           (fun _ctx ->
+             ( model.Vp_workload.Spec_model.name,
+               Trace_sim.run ?executions (Pipeline.run ~config model) )))
+       models)
+
 let render_overlap ?format rows =
   let table =
     Vp_util.Table.create

@@ -146,6 +146,18 @@ val overlap_validation :
 
 val render_overlap : ?format:[ `Ascii | `Csv ] -> overlap_row list -> string
 
+val hardware_validation :
+  ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
+  ?executions:int ->
+  Vp_workload.Spec_model.t list ->
+  (string * Trace_sim.result) list
+(** The hardware-mode validation sweep ({!Trace_sim.run} over a fresh
+    pipeline per benchmark), fanned through the execution context one
+    (config, benchmark) point per job — parallel and, with a store,
+    cached like the other experiment sweeps. [executions] defaults to
+    {!Trace_sim.run}'s. Render with {!Trace_sim.render}. *)
+
 (** The hyperblock (if-conversion) extension: biased branches absorbed into
     predicated regions. Guarded operations cannot be value-speculated (a
     predicated-off speculative write could not be recovered), so the

@@ -217,7 +217,7 @@ let profile_cache : (string * int, profile_entry list) Hashtbl.t =
 let profile_cache_mutex = Mutex.create ()
 let profile_cache_cap = 4
 
-let memoized_profile (config : Config.t) model workload program =
+let memoized_profile ?store (config : Config.t) model workload program =
   let key = (model.Vp_workload.Spec_model.name, config.seed) in
   let predictors = config.profile_predictors in
   let lookup () =
@@ -236,7 +236,9 @@ let memoized_profile (config : Config.t) model workload program =
          little wasted work, never a wrong answer. *)
       let profile =
         Vp_profile.Value_profile.profile ~program
-          ?predictors:config.profile_predictors workload
+          ?predictors:config.profile_predictors
+          ~rates:(Spec_unit.profile_rates ?store workload)
+          workload
       in
       Mutex.protect profile_cache_mutex (fun () ->
           match lookup () with
@@ -262,7 +264,11 @@ let run_program ?(config = Config.default)
     | Some profile -> profile
     | None ->
         Vp_profile.Value_profile.profile ~program
-          ?predictors:config.profile_predictors workload
+          ?predictors:config.profile_predictors
+          ~rates:
+            (Spec_unit.profile_rates ?store:exec.Vp_exec.Context.store
+               workload)
+          workload
   in
   (* Pass 1 (sequential): schedule, transform and prepare every block in
      order — value-stream draws and profiling stay deterministic. Both
@@ -359,7 +365,10 @@ let run_program ?(config = Config.default)
 let run ?(config = Config.default) ?exec model =
   let workload = Vp_workload.Workload.generate ~seed:config.seed model in
   let program = Vp_workload.Workload.program workload in
-  let profile = memoized_profile config model workload program in
+  let store =
+    Option.bind exec (fun e -> e.Vp_exec.Context.store)
+  in
+  let profile = memoized_profile ?store config model workload program in
   run_program ~config ?exec ~profile workload program
 
 let reference_of_block t index =

@@ -3,7 +3,11 @@
    runs). See the interface for the key construction and the threshold
    normalization argument. *)
 
-let version = 1
+(* 2: the prediction fast lane added the profile-rates artifact kind and
+   moved profiling onto the unboxed kernels (results are byte-identical,
+   but the bump retires any store entry written before the kernels were
+   the path of record). *)
+let version = 2
 
 let enabled_flag = Atomic.make true
 let set_enabled b = Atomic.set enabled_flag b
@@ -25,6 +29,8 @@ let sched_tbl : (string, Vp_sched.Schedule.t) Hashtbl.t = Hashtbl.create 256
 
 let xform_tbl : (string, Vp_vspec.Transform.outcome) Hashtbl.t =
   Hashtbl.create 256
+
+let rates_tbl : (string, float array) Hashtbl.t = Hashtbl.create 256
 
 (* A hard cap keeps unbounded sweeps from growing the tables forever; a
    full reset is crude but the working set of one sweep refills in a few
@@ -117,6 +123,26 @@ let transform ?store ~(policy : Vp_vspec.Policy.t) descr
            policy.Vp_vspec.Policy.threshold)
   | o -> o
 
+(* Per-stream profiled accuracies. The values are a pure function of
+   (workload seed, stream id, stream shape, sample count, predictor kinds)
+   — [Workload.stream] derives the stream RNG from (seed, id) alone — so
+   the key carries exactly those, never the program: sweep points, region
+   programs and repeated runs that profile the same streams share one
+   entry. *)
+let profile_rates ?store workload ~stream ~samples ~kinds =
+  let key =
+    digest_key
+      ( "spec-unit-profile-rates",
+        version,
+        Vp_workload.Workload.seed workload,
+        stream,
+        Vp_workload.Workload.shape workload stream,
+        samples,
+        kinds )
+  in
+  cached rates_tbl ?store ~key (fun () ->
+      Vp_profile.Value_profile.stream_rates workload ~stream ~samples ~kinds)
+
 (* Compiled kernels: keyed physically on the spec block. The reuse this
    cache exists for — the same block under several CCE shapes, or repeated
    runs of one sweep point — always goes through the transform cache first
@@ -198,6 +224,7 @@ let clear () =
   Mutex.protect mutex (fun () ->
       Hashtbl.reset sched_tbl;
       Hashtbl.reset xform_tbl;
+      Hashtbl.reset rates_tbl;
       Phys_tbl.reset comp_tbl;
       hits := 0;
       misses := 0;

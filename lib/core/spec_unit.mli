@@ -80,6 +80,19 @@ val transform :
     baseline schedule is obtained through {!schedule}, so a transform miss
     still reuses a cached schedule. *)
 
+val profile_rates :
+  ?store:Vp_exec.Store.t ->
+  Vp_workload.Workload.t ->
+  stream:int ->
+  samples:int ->
+  kinds:Vp_predict.Predictor.kind list ->
+  float array
+(** Cached [Vp_profile.Value_profile.stream_rates]. Keyed by (workload
+    seed, stream id, stream shape, samples, kinds) — the stream values are
+    a pure function of those, so sweep points and region programs that
+    profile the same streams share one entry. Suitable as the [?rates]
+    hook of [Value_profile.profile]. *)
+
 val compiled :
   ?ccb_capacity:int ->
   cce_retire_width:int ->

@@ -10,8 +10,38 @@ type result = {
 }
 
 (* A stable hardware PC for a static load: block index spread across the
-   address space, plus the operation's slot. *)
-let pc_of ~block ~op = (block * 256) + op
+   address space, plus the operation's slot. Op ids at or past the 256-slot
+   spread would alias a neighbouring block's PCs (block b op 256 = block
+   b+1 op 0), silently sharing VP-table entries — reject them instead. *)
+let pc_of ~block ~op =
+  if op < 0 || op >= 256 then
+    invalid_arg
+      (Printf.sprintf "Trace_sim.pc_of: op id %d outside [0, 256)" op);
+  (block * 256) + op
+
+(* The fast lane's per-stream read state: a cursor over the workload's
+   shared arena. The arena may move when grown, so the cursor re-fetches
+   it at (amortized, doubling) capacity steps. *)
+type cursor = { mutable buf : int array; mutable avail : int; mutable pos : int }
+
+(* Per-block fast state, built lazily on a block's first execution: the
+   compiled kernel (shared with the pipeline's scenario batches through
+   the spec-unit cache — [Pipeline.reference_of_block] rebuilds the same
+   position-0-valued reference the pipeline compiled against), the
+   predicted loads' stream ids and PCs, and a per-outcome-mask memo of
+   effective cycles. The memo is sound because the engine's timing fields
+   depend only on (spec block, outcomes, CCB capacity, CCE retire width):
+   mispredicted *values* change what is recomputed, never when anything
+   completes. *)
+type fast_block = {
+  fb_compiled : Vp_engine.Compiled.t;
+  fb_streams : int array; (* stream id per predicted load *)
+  fb_pcs : int array; (* VP-table PC per predicted load *)
+  fb_outcomes : bool array; (* scratch, one slot per predicted load *)
+  fb_memo : int array; (* effective cycles per outcome mask, -1 = unset *)
+}
+
+let memo_limit = 16 (* memoize outcome masks up to 2^16 entries *)
 
 let run ?(executions = 5000) ?table (p : Pipeline.t) =
   let config = p.config in
@@ -25,19 +55,64 @@ let run ?(executions = 5000) ?table (p : Pipeline.t) =
   let weights =
     Array.map (fun (b : Pipeline.block_eval) -> float_of_int b.count) p.blocks
   in
-  (* Persistent per-stream instances: each load replays its stream across
-     its block's executions, exactly as profiling saw it. *)
-  let streams = Hashtbl.create 64 in
-  let stream_next id =
-    let s =
-      match Hashtbl.find_opt streams id with
-      | Some s -> s
+  (* Each predicted load replays its stream across its block's executions,
+     exactly as profiling saw it, by walking the stream's arena. Loads
+     whose prediction was not selected used to draw and discard values;
+     streams are private to one load, so skipping those draws is
+     unobservable. *)
+  let cursors = Hashtbl.create 64 in
+  let next_value id =
+    let c =
+      match Hashtbl.find_opt cursors id with
+      | Some c -> c
       | None ->
-          let s = Vp_workload.Workload.stream p.workload id in
-          Hashtbl.replace streams id s;
-          s
+          let c = { buf = [||]; avail = 0; pos = 0 } in
+          Hashtbl.replace cursors id c;
+          c
     in
-    Vp_workload.Value_stream.next s
+    if c.pos >= c.avail then begin
+      let want = max 64 (2 * c.avail) in
+      c.buf <- Vp_workload.Workload.arena p.workload id ~min_len:want;
+      c.avail <- want
+    end;
+    let v = c.buf.(c.pos) in
+    c.pos <- c.pos + 1;
+    v
+  in
+  let scratch = Vp_engine.Compiled.Arena.create () in
+  let fast : fast_block option array = Array.make (Array.length p.blocks) None in
+  let fast_of bi (spec : Pipeline.spec_eval) =
+    match fast.(bi) with
+    | Some f -> f
+    | None ->
+        let compiled =
+          Spec_unit.compiled ?ccb_capacity:config.Config.ccb_capacity
+            ~cce_retire_width:config.Config.cce_retire_width
+            ~live_in:Pipeline.live_in spec.sb
+            ~reference:(Pipeline.reference_of_block p bi)
+        in
+        let preds = spec.sb.Vp_vspec.Spec_block.predicted in
+        let n = Array.length preds in
+        let f =
+          {
+            fb_compiled = compiled;
+            fb_streams =
+              Array.map
+                (fun (pl : Vp_vspec.Spec_block.predicted_load) ->
+                  Option.get pl.stream)
+                preds;
+            fb_pcs =
+              Array.map
+                (fun (pl : Vp_vspec.Spec_block.predicted_load) ->
+                  pc_of ~block:bi ~op:pl.orig_load_id)
+                preds;
+            fb_outcomes = Array.make n false;
+            fb_memo =
+              (if n <= memo_limit then Array.make (1 lsl n) (-1) else [||]);
+          }
+        in
+        fast.(bi) <- Some f;
+        f
   in
   let cycles = ref 0 in
   let original_cycles = ref 0 in
@@ -50,38 +125,34 @@ let run ?(executions = 5000) ?table (p : Pipeline.t) =
     match b.spec with
     | None -> cycles := !cycles + b.original_cycles
     | Some spec ->
-        let block = spec.sb.Vp_vspec.Spec_block.original_block in
-        let values = Hashtbl.create 8 in
-        List.iter
-          (fun (op : Vp_ir.Operation.t) ->
-            Hashtbl.replace values op.id (stream_next (Option.get op.stream)))
-          (Vp_ir.Block.loads block);
-        let reference =
-          Vp_engine.Reference.run block
-            ~load_values:(Hashtbl.find values)
-            ~live_in:Pipeline.live_in
+        let f = fast_of bi spec in
+        let n = Array.length f.fb_streams in
+        let mask = ref 0 in
+        for i = 0 to n - 1 do
+          let actual = next_value f.fb_streams.(i) in
+          let correct =
+            Vp_predict.Vp_table.predict_and_train table ~pc:f.fb_pcs.(i)
+              ~actual
+          in
+          incr predictions;
+          if not correct then incr mispredictions;
+          f.fb_outcomes.(i) <- correct;
+          if correct then mask := !mask lor (1 lsl i)
+        done;
+        let eff =
+          if Array.length f.fb_memo > 0 && f.fb_memo.(!mask) >= 0 then
+            f.fb_memo.(!mask)
+          else begin
+            let r =
+              Vp_engine.Compiled.run_scenario f.fb_compiled scratch
+                ~outcomes:f.fb_outcomes
+            in
+            let eff = Config.effective_cycles config r in
+            if Array.length f.fb_memo > 0 then f.fb_memo.(!mask) <- eff;
+            eff
+          end
         in
-        let outcomes =
-          Array.map
-            (fun (pl : Vp_vspec.Spec_block.predicted_load) ->
-              let actual = Hashtbl.find values pl.orig_load_id in
-              let correct =
-                Vp_predict.Vp_table.predict_and_train table
-                  ~pc:(pc_of ~block:bi ~op:pl.orig_load_id)
-                  ~actual
-              in
-              incr predictions;
-              if not correct then incr mispredictions;
-              correct)
-            spec.sb.predicted
-        in
-        let r =
-          Vp_engine.Dual_engine.run
-            ?ccb_capacity:config.ccb_capacity
-            ~cce_retire_width:config.cce_retire_width spec.sb ~reference
-            ~live_in:Pipeline.live_in ~outcomes
-        in
-        cycles := !cycles + Config.effective_cycles config r
+        cycles := !cycles + eff
   done;
   let stats = Pipeline.stats p in
   {

@@ -29,12 +29,26 @@ type result = {
           comparison *)
 }
 
+val pc_of : block:int -> op:int -> int
+(** The hardware PC of static load [op] in block [block]: the block index
+    spread across 256-slot frames. Raises [Invalid_argument] when [op] is
+    outside [0, 256) — such an id would alias a neighbouring block's
+    frame. *)
+
 val run :
   ?executions:int -> ?table:Vp_predict.Vp_table.t -> Pipeline.t -> result
 (** [run pipeline] replays [executions] (default 5000) block executions
     drawn proportionally to the profiled frequencies, deterministic in the
     pipeline's seed. [table] defaults to a fresh 1024-entry hybrid
-    stride/FCM table without confidence gating. *)
+    stride/FCM table without confidence gating.
+
+    Each speculated execution replays the block through the compiled
+    kernel ([Vp_engine.Compiled], shared with the pipeline's scenario
+    batches via {!Spec_unit}) against one reusable scratch arena, reading
+    actual load values from the workload's stream arenas; per-block
+    effective cycles are memoized per outcome mask (sound because the
+    engine's completion times depend on the outcomes, never on the
+    mispredicted values). *)
 
 val render : (string * result) list -> string
 (** Table of per-benchmark results: measured vs profile-predicted. *)

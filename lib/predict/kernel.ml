@@ -1,0 +1,222 @@
+(* Direct-style predictor kernels over flat value arenas.
+
+   The closure-record predictors ({!Iface.t}) box every prediction in an
+   [int option] and pay an indirect call per [predict]/[update]; profiling
+   sweeps run them over millions of stream values. These kernels keep the
+   same state machines in plain records with an integer sentinel for "no
+   prediction" and compute every requested predictor's hit count in a
+   single pass over an [int array]. {!Predictor.accuracy} remains the
+   semantic oracle (see test/test_predict.ml's kernel-vs-closure
+   property). *)
+
+let no_prediction = min_int
+
+(* Sentinel encoding: [no_prediction] stands for [None] wherever a *value*
+   (or FCM table entry) is stored, so arenas must never contain [min_int] —
+   generated value streams stay far inside the int range. Deltas can't use
+   the sentinel trick safely (a delta is a difference of two arbitrary
+   values), so stride state carries explicit [bool] presence flags. *)
+
+type last_s = { mutable lv : int }
+
+type stride_s = {
+  mutable s_last : int;
+  mutable s_has_last : bool;
+  mutable s_last_delta : int;
+  mutable s_has_delta : bool;
+  mutable s_confirmed : int;
+  mutable s_has_confirmed : bool;
+}
+
+type fcm_s = {
+  f_order : int;
+  f_mask : int;
+  f_history : int array; (* circular, most recent at [(head-1) mod order] *)
+  mutable f_fill : int; (* values observed, saturates at order *)
+  mutable f_head : int; (* next write position *)
+  f_table : int array; (* [no_prediction] = empty slot *)
+}
+
+type dfcm_s = { d_fcm : fcm_s; mutable d_last : int; mutable d_has_last : bool }
+
+type hybrid_s = {
+  h_stride : stride_s;
+  h_fcm : fcm_s;
+  mutable h_stride_hits : int;
+  mutable h_fcm_hits : int;
+}
+
+type t =
+  | Last of last_s
+  | Stride of stride_s
+  | Fcm of fcm_s
+  | Dfcm of dfcm_s
+  | Hybrid of hybrid_s
+
+let make_stride () =
+  {
+    s_last = 0;
+    s_has_last = false;
+    s_last_delta = 0;
+    s_has_delta = false;
+    s_confirmed = 0;
+    s_has_confirmed = false;
+  }
+
+let make_fcm ~order ~table_bits =
+  if order < 1 then invalid_arg "Kernel.create: order < 1";
+  if table_bits < 4 || table_bits > 24 then
+    invalid_arg "Kernel.create: table_bits out of [4, 24]";
+  {
+    f_order = order;
+    f_mask = (1 lsl table_bits) - 1;
+    f_history = Array.make order 0;
+    f_fill = 0;
+    f_head = 0;
+    f_table = Array.make (1 lsl table_bits) no_prediction;
+  }
+
+let create = function
+  | Predictor.Last_value -> Last { lv = no_prediction }
+  | Predictor.Stride -> Stride (make_stride ())
+  | Predictor.Fcm { order; table_bits } -> Fcm (make_fcm ~order ~table_bits)
+  | Predictor.Dfcm { order; table_bits } ->
+      Dfcm { d_fcm = make_fcm ~order ~table_bits; d_last = 0; d_has_last = false }
+  | Predictor.Hybrid_stride_fcm { order; table_bits } ->
+      Hybrid
+        {
+          h_stride = make_stride ();
+          h_fcm = make_fcm ~order ~table_bits;
+          h_stride_hits = 0;
+          h_fcm_hits = 0;
+        }
+
+let reset_stride s =
+  s.s_has_last <- false;
+  s.s_has_delta <- false;
+  s.s_has_confirmed <- false
+
+let reset_fcm f =
+  f.f_fill <- 0;
+  f.f_head <- 0;
+  Array.fill f.f_table 0 (Array.length f.f_table) no_prediction
+
+let reset = function
+  | Last s -> s.lv <- no_prediction
+  | Stride s -> reset_stride s
+  | Fcm f -> reset_fcm f
+  | Dfcm d ->
+      reset_fcm d.d_fcm;
+      d.d_has_last <- false
+  | Hybrid h ->
+      reset_stride h.h_stride;
+      reset_fcm h.h_fcm;
+      h.h_stride_hits <- 0;
+      h.h_fcm_hits <- 0
+
+(* Same hash as {!Fcm.mix}/[signature] — the kernels must index the same
+   table slots as the closure predictors to stay bit-equivalent. *)
+let[@inline] mix h v =
+  let h = h lxor (v * 0x9E3779B1) in
+  let h = (h lxor (h lsr 15)) * 0x85EBCA77 in
+  h lxor (h lsr 13)
+
+let signature f =
+  let h = ref 0x12345 in
+  for i = 0 to f.f_order - 1 do
+    let pos = (f.f_head + i) mod f.f_order in
+    h := mix !h f.f_history.(pos)
+  done;
+  !h land f.f_mask
+
+let[@inline] predict_stride s =
+  if s.s_has_last then
+    s.s_last + (if s.s_has_confirmed then s.s_confirmed else 0)
+  else no_prediction
+
+let[@inline] predict_fcm f =
+  if f.f_fill >= f.f_order then f.f_table.(signature f) else no_prediction
+
+(* DFCM's table holds strides; [no_prediction] marks the empty slot there
+   too, so a stored stride equal to [min_int] would be misread — impossible
+   while arena values stay within a factor of 2 of the int range. *)
+let[@inline] predict_dfcm d =
+  if d.d_has_last then
+    let stride = predict_fcm d.d_fcm in
+    if stride = no_prediction then no_prediction else d.d_last + stride
+  else no_prediction
+
+let predict = function
+  | Last s -> s.lv
+  | Stride s -> predict_stride s
+  | Fcm f -> predict_fcm f
+  | Dfcm d -> predict_dfcm d
+  | Hybrid h ->
+      let stride_better = h.h_stride_hits >= h.h_fcm_hits in
+      let primary =
+        if stride_better then predict_stride h.h_stride
+        else predict_fcm h.h_fcm
+      in
+      if primary <> no_prediction then primary
+      else if stride_better then predict_fcm h.h_fcm
+      else predict_stride h.h_stride
+
+let[@inline] update_stride s v =
+  if s.s_has_last then begin
+    let delta = v - s.s_last in
+    if s.s_has_delta && s.s_last_delta = delta then begin
+      s.s_confirmed <- delta;
+      s.s_has_confirmed <- true
+    end;
+    s.s_last_delta <- delta;
+    s.s_has_delta <- true
+  end;
+  s.s_last <- v;
+  s.s_has_last <- true
+
+let[@inline] update_fcm f v =
+  if f.f_fill >= f.f_order then f.f_table.(signature f) <- v;
+  f.f_history.(f.f_head) <- v;
+  f.f_head <- (f.f_head + 1) mod f.f_order;
+  if f.f_fill < f.f_order then f.f_fill <- f.f_fill + 1
+
+let update t v =
+  match t with
+  | Last s -> s.lv <- v
+  | Stride s -> update_stride s v
+  | Fcm f -> update_fcm f v
+  | Dfcm d ->
+      if d.d_has_last then update_fcm d.d_fcm (v - d.d_last);
+      d.d_last <- v;
+      d.d_has_last <- true
+  | Hybrid h ->
+      let sp = predict_stride h.h_stride in
+      if sp <> no_prediction && sp = v then
+        h.h_stride_hits <- h.h_stride_hits + 1;
+      let fp = predict_fcm h.h_fcm in
+      if fp <> no_prediction && fp = v then h.h_fcm_hits <- h.h_fcm_hits + 1;
+      update_stride h.h_stride v;
+      update_fcm h.h_fcm v
+
+let hit_counts ~kinds values ~off ~len =
+  if off < 0 || len < 0 || off + len > Array.length values then
+    invalid_arg "Kernel.hit_counts: range out of bounds";
+  let states = Array.of_list (List.map create kinds) in
+  let n = Array.length states in
+  let hits = Array.make n 0 in
+  for i = off to off + len - 1 do
+    let v = Array.unsafe_get values i in
+    for j = 0 to n - 1 do
+      let s = Array.unsafe_get states j in
+      let p = predict s in
+      if p <> no_prediction && p = v then
+        Array.unsafe_set hits j (Array.unsafe_get hits j + 1);
+      update s v
+    done
+  done;
+  hits
+
+let accuracies ~kinds values ~off ~len =
+  let hits = hit_counts ~kinds values ~off ~len in
+  if len = 0 then Array.map (fun _ -> 0.0) hits
+  else Array.map (fun h -> float_of_int h /. float_of_int len) hits

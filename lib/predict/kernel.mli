@@ -1,0 +1,38 @@
+(** Unboxed predictor kernels: the prediction fast lane.
+
+    Direct-style re-implementations of every {!Predictor.kind} state
+    machine, exposing an integer sentinel ({!no_prediction}) instead of
+    [int option] and a single-pass driver that scores all requested
+    predictors over one flat value arena. Semantically pinned to the
+    closure predictors: for any kind and any value sequence free of
+    [min_int], {!accuracies} equals {!Predictor.accuracy} over the
+    corresponding {!Predictor.instantiate} (property-tested). *)
+
+val no_prediction : int
+(** Sentinel ([min_int]) returned by {!predict} when the predictor has no
+    prediction. Arena values must never equal it. *)
+
+type t
+(** Mutable kernel state for one predictor instance. *)
+
+val create : Predictor.kind -> t
+(** Fresh state. Raises [Invalid_argument] on the same parameter ranges as
+    the closure predictors (FCM order < 1, table_bits outside [4, 24]). *)
+
+val reset : t -> unit
+
+val predict : t -> int
+(** Current prediction, or {!no_prediction}. *)
+
+val update : t -> int -> unit
+(** Feed the actually observed value. *)
+
+val hit_counts : kinds:Predictor.kind list -> int array -> off:int -> len:int -> int array
+(** [hit_counts ~kinds values ~off ~len] plays [values.(off .. off+len-1)]
+    through a fresh kernel per kind — all kinds in one pass — and returns
+    the per-kind correct-prediction counts, in [kinds] order. Raises
+    [Invalid_argument] if the range is out of bounds. *)
+
+val accuracies : kinds:Predictor.kind list -> int array -> off:int -> len:int -> float array
+(** [hit_counts] normalized by [len]; all zeros when [len = 0] (matching
+    {!Predictor.accuracy} on the empty list). *)

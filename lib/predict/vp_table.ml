@@ -8,7 +8,10 @@ type t = {
   kind : Predictor.kind;
   use_confidence : bool;
   tagged : bool;
-  slots : entry array;
+  slots : entry option array;
+      (* populated on first touch: a 1024-entry hybrid table would
+         otherwise instantiate 1024 FCM second-level tables up front, when
+         a trace only ever touches one slot per static load *)
   mask : int;
 }
 
@@ -19,27 +22,28 @@ let create ?(entries = 1024)
     ?(use_confidence = false) ?(tagged = true) () =
   if not (is_power_of_two entries) then
     invalid_arg "Vp_table.create: entries must be a positive power of two";
-  let fresh_entry _ =
-    {
-      owner = None;
-      predictor = Predictor.instantiate kind;
-      confidence = Confidence.create ();
-    }
-  in
-  {
-    kind;
-    use_confidence;
-    tagged;
-    slots = Array.init entries fresh_entry;
-    mask = entries - 1;
-  }
+  { kind; use_confidence; tagged; slots = Array.make entries None; mask = entries - 1 }
 
 let index t pc =
   let h = pc * 0x9E3779B1 in
   (h lxor (h lsr 16)) land t.mask
 
 let slot_for t pc =
-  let e = t.slots.(index t pc) in
+  let i = index t pc in
+  let e =
+    match t.slots.(i) with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            owner = None;
+            predictor = Predictor.instantiate t.kind;
+            confidence = Confidence.create ();
+          }
+        in
+        t.slots.(i) <- Some e;
+        e
+  in
   (match e.owner with
   | Some tag when tag = pc || not t.tagged -> ()
   | Some _ ->
@@ -75,7 +79,10 @@ let entries t = Array.length t.slots
 let utilization t =
   let used =
     Array.fold_left
-      (fun acc e -> if e.owner <> None then acc + 1 else acc)
+      (fun acc e ->
+        match e with
+        | Some e when e.owner <> None -> acc + 1
+        | Some _ | None -> acc)
       0 t.slots
   in
   float_of_int used /. float_of_int (entries t)

@@ -15,7 +15,13 @@ type block_profile = {
 
 type t = { blocks : block_profile array }
 
-let profile_load ~predictors ~max_samples workload ~executions
+let stream_rates workload ~stream ~samples ~kinds =
+  (* The fast lane: one pass of the unboxed kernels over the stream's
+     arena instead of a closure predictor per kind over a fresh list. *)
+  let arena = Vp_workload.Workload.arena workload stream ~min_len:samples in
+  Vp_predict.Kernel.accuracies ~kinds arena ~off:0 ~len:samples
+
+let profile_load ~predictors ~rates:rates_of ~max_samples ~executions
     (op : Vp_ir.Operation.t) =
   let stream =
     match op.stream with
@@ -23,25 +29,14 @@ let profile_load ~predictors ~max_samples workload ~executions
     | None -> invalid_arg "Value_profile: load without a stream"
   in
   let samples = max 1 (min executions max_samples) in
-  let vs =
-    Vp_workload.Value_stream.take
-      (Vp_workload.Workload.stream workload stream)
-      samples
-  in
   let rates =
-    List.map
-      (fun kind ->
-        Vp_predict.Predictor.accuracy (Vp_predict.Predictor.instantiate kind) vs)
-      predictors
+    Array.to_list (rates_of ~stream ~samples ~kinds:predictors)
   in
+  (* The (kind, rate) pairing is built once; the per-field lookups below
+     walk it instead of re-walking the two lists per queried kind. *)
+  let by_kind = List.map2 (fun k r -> (k, r)) predictors rates in
   let rate_of kind =
-    let rec find ks rs =
-      match (ks, rs) with
-      | k :: _, r :: _ when k = kind -> r
-      | _ :: ks, _ :: rs -> find ks rs
-      | _ -> 0.0
-    in
-    find predictors rates
+    Option.value ~default:0.0 (List.assoc_opt kind by_kind)
   in
   {
     op_id = op.id;
@@ -65,7 +60,7 @@ let paper_predictors ~fcm_order ~fcm_table_bits =
     Vp_predict.Predictor.Fcm { order = fcm_order; table_bits = fcm_table_bits };
   ]
 
-let profile ?program ?predictors ?(max_samples = 2000) ?(fcm_order = 2)
+let profile ?program ?predictors ?rates ?(max_samples = 2000) ?(fcm_order = 2)
     ?(fcm_table_bits = 12) workload =
   let program =
     Option.value ~default:(Vp_workload.Workload.program workload) program
@@ -75,12 +70,19 @@ let profile ?program ?predictors ?(max_samples = 2000) ?(fcm_order = 2)
       ~default:(paper_predictors ~fcm_order ~fcm_table_bits)
       predictors
   in
+  let rates =
+    match rates with
+    | Some f -> f
+    | None ->
+        fun ~stream ~samples ~kinds ->
+          stream_rates workload ~stream ~samples ~kinds
+  in
   let blocks =
     Array.mapi
       (fun i (wb : Vp_ir.Program.weighted_block) ->
         let loads =
           List.map
-            (profile_load ~predictors ~max_samples workload
+            (profile_load ~predictors ~rates ~max_samples
                ~executions:wb.count)
             (Vp_ir.Block.loads wb.block)
         in

@@ -30,6 +30,11 @@ type t
 val profile :
   ?program:Vp_ir.Program.t ->
   ?predictors:Vp_predict.Predictor.kind list ->
+  ?rates:
+    (stream:int ->
+    samples:int ->
+    kinds:Vp_predict.Predictor.kind list ->
+    float array) ->
   ?max_samples:int ->
   ?fcm_order:int ->
   ?fcm_table_bits:int ->
@@ -42,7 +47,20 @@ val profile :
     used by the predictor-sensitivity ablation. [program] overrides the
     workload's own program — used by the region extension, whose
     superblocks reference the same value streams through different
-    blocks. *)
+    blocks. [rates] overrides the per-stream accuracy computation (it must
+    return one accuracy per kind, in [kinds] order) — used by the pipeline
+    to route it through the {!Spec_unit} memo. *)
+
+val stream_rates :
+  Vp_workload.Workload.t ->
+  stream:int ->
+  samples:int ->
+  kinds:Vp_predict.Predictor.kind list ->
+  float array
+(** Per-kind prediction accuracy of stream [stream]'s first [samples]
+    values, computed in a single unboxed-kernel pass over the workload's
+    stream arena. Equal to [Predictor.accuracy] of each instantiated kind
+    over [Value_stream.take] of the same prefix. *)
 
 val blocks : t -> block_profile array
 

@@ -74,6 +74,55 @@ let stream t id =
   let rng = Vp_util.Rng.split_named rng (Printf.sprintf "stream-%d" id) in
   Value_stream.create rng shape
 
+(* --- Stream arenas ---
+
+   A stream's value sequence is fully determined by [(seed, model, id)], so
+   the materialized prefixes live in a module-global table rather than on
+   [t]: workloads regenerated for the same model share one arena, and [t]
+   itself stays free of mutexes and cache state (pipeline results carrying
+   workloads are marshalled into the on-disk store). The [tail] stream
+   instance sits at position [filled], so growing an arena only draws the
+   missing suffix. *)
+
+type arena_entry = {
+  mutable buf : int array;
+  mutable filled : int;
+  tail : Value_stream.t;
+}
+
+let arenas : (int * string * int, arena_entry) Hashtbl.t = Hashtbl.create 64
+let arenas_mutex = Mutex.create ()
+let arenas_cap = 1024
+
+let arena t id ~min_len =
+  let min_len = max min_len 0 in
+  let key = (t.seed, t.model.Spec_model.name, id) in
+  Mutex.protect arenas_mutex (fun () ->
+      let entry =
+        match Hashtbl.find_opt arenas key with
+        | Some e -> e
+        | None ->
+            if Hashtbl.length arenas >= arenas_cap then Hashtbl.reset arenas;
+            let e =
+              { buf = [||]; filled = 0; tail = stream t id }
+            in
+            Hashtbl.add arenas key e;
+            e
+      in
+      if entry.filled < min_len then begin
+        if Array.length entry.buf < min_len then begin
+          let cap = max min_len (max 64 (2 * Array.length entry.buf)) in
+          let buf = Array.make cap 0 in
+          Array.blit entry.buf 0 buf 0 entry.filled;
+          entry.buf <- buf
+        end;
+        for i = entry.filled to min_len - 1 do
+          entry.buf.(i) <- Value_stream.next entry.tail
+        done;
+        entry.filled <- min_len
+      end;
+      entry.buf)
+
 let block_count t i = (Vp_ir.Program.nth t.program i).count
 
 let pp_summary ppf t =

@@ -32,6 +32,16 @@ val stream : t -> int -> Value_stream.t
 (** Fresh replayable instance of stream [id], deterministically seeded from
     [(seed, id)]. *)
 
+val arena : t -> int -> min_len:int -> int array
+(** Flat materialization of stream [id]: the returned array holds the
+    stream's first values at indices [0 .. min_len-1] (identical to what
+    {!stream} followed by [Value_stream.take] would produce). Entries past
+    [min_len] are unspecified. Arenas are cached globally per
+    [(seed, model, id)] and grown on demand, so repeated calls share one
+    buffer — but a later call with a larger [min_len] may return a
+    different (grown) array, so callers must not retain the buffer across
+    calls. Thread-safe. Raises [Invalid_argument] on unknown ids. *)
+
 val block_count : t -> int -> int
 (** Execution count of block index [i] (same as the program's). *)
 

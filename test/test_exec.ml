@@ -197,6 +197,19 @@ let test_experiments_parallel_determinism () =
   let par = render ~exec:(Vp_exec.Context.create ~jobs:4 ()) () in
   checks "jobs=1 = jobs=4" seq par
 
+let test_hardware_validation_parallel_determinism () =
+  (* the hardware-validation sweep fans one job per benchmark through the
+     pool; its rendered table must be byte-identical to a sequential run *)
+  let table ~exec =
+    Vliw_vp.Trace_sim.render
+      (Vliw_vp.Experiments.hardware_validation ~config:small_config ~exec
+         ~executions:400 small_models)
+  in
+  let seq = table ~exec:Vp_exec.Context.sequential in
+  let par = table ~exec:(Vp_exec.Context.create ~jobs:4 ()) in
+  checkb "non-empty table" true (String.length seq > 0);
+  checks "hardware table jobs=1 = jobs=4" seq par
+
 let test_cache_round_trip () =
   let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
   let cold_progress = Vp_exec.Progress.silent () in
@@ -269,6 +282,8 @@ let () =
       ( "experiments",
         [
           tc "parallel determinism" test_experiments_parallel_determinism;
+          tc "hardware validation parallel determinism"
+            test_hardware_validation_parallel_determinism;
           tc "cache round trip" test_cache_round_trip;
           tc "corruption recovery" test_cache_corruption_recovery;
         ] );

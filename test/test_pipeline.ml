@@ -226,6 +226,26 @@ let test_trace_sim_confidence_table () =
   checkb "both speedups sane" true
     (gated.speedup > 0.8 && plain.speedup > 0.8)
 
+let test_trace_sim_pc_of () =
+  (* pc identities stay distinct across (block, op) pairs within range *)
+  checki "block 0 op 0" 0 (Vliw_vp.Trace_sim.pc_of ~block:0 ~op:0);
+  checki "block 3 op 7" ((3 * 256) + 7) (Vliw_vp.Trace_sim.pc_of ~block:3 ~op:7);
+  checkb "distinct across blocks" true
+    (Vliw_vp.Trace_sim.pc_of ~block:1 ~op:0
+    <> Vliw_vp.Trace_sim.pc_of ~block:0 ~op:255);
+  (* a block wider than the 256-operation stride must fail loudly instead
+     of silently aliasing its predictor-table entries into the next block *)
+  checkb "wide block rejected" true
+    (try
+       ignore (Vliw_vp.Trace_sim.pc_of ~block:0 ~op:256);
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative op rejected" true
+    (try
+       ignore (Vliw_vp.Trace_sim.pc_of ~block:0 ~op:(-1));
+       false
+     with Invalid_argument _ -> true)
+
 let test_trace_sim_deterministic () =
   let a = Vliw_vp.Trace_sim.run ~executions:500 pipeline in
   let b = Vliw_vp.Trace_sim.run ~executions:500 pipeline in
@@ -343,6 +363,7 @@ let () =
           tc "report write_file" test_report_write_file;
           tc "hardware-mode trace sim" test_trace_sim;
           tc "trace sim confidence table" test_trace_sim_confidence_table;
+          tc "trace sim pc_of bounds" test_trace_sim_pc_of;
           tc "trace sim deterministic" test_trace_sim_deterministic;
           tc "CCE width helps worst case" test_cce_width_helps_worst_case;
         ] );

@@ -332,6 +332,57 @@ let prop_accuracy_bounds =
           Vp_predict.Predictor.Hybrid_stride_fcm { order = 2; table_bits = 8 };
         ])
 
+(* The unboxed kernels in [Kernel] are an independent reimplementation
+   of the closure predictors; this property pins them to the closures as
+   oracle across every kind and a range of FCM geometries. Values stay
+   far from [min_int], which the kernels reserve as the "no prediction"
+   sentinel. *)
+let prop_kernel_matches_closures =
+  QCheck.Test.make ~name:"unboxed kernels match closure predictors" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 80) (int_range (-10_000) 10_000))
+        (pair (int_range 1 3) (int_range 4 8)))
+    (fun (values, (order, table_bits)) ->
+      let kinds =
+        [
+          Vp_predict.Predictor.Last_value;
+          Vp_predict.Predictor.Stride;
+          Vp_predict.Predictor.Fcm { order; table_bits };
+          Vp_predict.Predictor.Dfcm { order; table_bits };
+          Vp_predict.Predictor.Hybrid_stride_fcm { order; table_bits };
+        ]
+      in
+      let arr = Array.of_list values in
+      let kernel =
+        Vp_predict.Kernel.accuracies ~kinds arr ~off:0 ~len:(Array.length arr)
+      in
+      List.for_all2
+        (fun kind k ->
+          Float.equal k
+            (Vp_predict.Predictor.accuracy
+               (Vp_predict.Predictor.instantiate kind)
+               values))
+        kinds
+        (Array.to_list kernel))
+
+let test_kernel_validation () =
+  checkb "bad order rejected" true
+    (try
+       ignore
+         (Vp_predict.Kernel.create
+            (Vp_predict.Predictor.Fcm { order = 0; table_bits = 8 }));
+       false
+     with Invalid_argument _ -> true);
+  checkb "bad slice rejected" true
+    (try
+       ignore
+         (Vp_predict.Kernel.hit_counts
+            ~kinds:[ Vp_predict.Predictor.Last_value ]
+            [| 1; 2; 3 |] ~off:1 ~len:3);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "vp_predict"
@@ -383,9 +434,11 @@ let () =
           tc "confidence gating" test_vp_table_confidence_gating;
           tc "validation and utilization" test_vp_table_validation_and_utilization;
         ] );
+      ("kernel", [ tc "validation" test_kernel_validation ]);
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_stride_perfect_on_arithmetic;
           QCheck_alcotest.to_alcotest prop_accuracy_bounds;
+          QCheck_alcotest.to_alcotest prop_kernel_matches_closures;
         ] );
     ]

@@ -203,6 +203,55 @@ let test_store_backing () =
   checkb "cold = warm" true (sched_proj cold = sched_proj warm);
   ignore misses_cold
 
+(* --- profile rates: cached = fresh, and the store serves rehydration --- *)
+
+let test_profile_rates_caching () =
+  Vliw_vp.Spec_unit.clear ();
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  let workload =
+    Vp_workload.Workload.generate ~seed:7 Vp_workload.Spec_model.compress
+  in
+  let kinds =
+    [
+      Vp_predict.Predictor.Stride;
+      Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+    ]
+  in
+  let fresh =
+    Vp_profile.Value_profile.stream_rates workload ~stream:0 ~samples:300 ~kinds
+  in
+  let cold =
+    Vliw_vp.Spec_unit.profile_rates ~store workload ~stream:0 ~samples:300
+      ~kinds
+  in
+  checkb "cached = fresh" true (fresh = cold);
+  let misses_cold = (Vliw_vp.Spec_unit.stats ()).misses in
+  checkb "cold run misses" true (misses_cold >= 1);
+  let warm_mem =
+    Vliw_vp.Spec_unit.profile_rates ~store workload ~stream:0 ~samples:300
+      ~kinds
+  in
+  checki "memory hit, no new miss" misses_cold
+    (Vliw_vp.Spec_unit.stats ()).misses;
+  checkb "memory-served = cold" true (cold = warm_mem);
+  (* A fresh process is simulated by dropping the in-memory tables: the
+     next lookup must come back from the store, not recompute. *)
+  Vliw_vp.Spec_unit.clear ();
+  let warm_store =
+    Vliw_vp.Spec_unit.profile_rates ~store workload ~stream:0 ~samples:300
+      ~kinds
+  in
+  let stats = Vliw_vp.Spec_unit.stats () in
+  checki "store hit, not recompute" 0 stats.misses;
+  checkb "store-served = cold" true (cold = warm_store);
+  (* Different sample counts and kind lists are distinct artifacts. *)
+  let other =
+    Vliw_vp.Spec_unit.profile_rates ~store workload ~stream:0 ~samples:150
+      ~kinds
+  in
+  checki "distinct key misses" 1 (Vliw_vp.Spec_unit.stats ()).misses;
+  checki "one rate per kind" (List.length kinds) (Array.length other)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "spec_unit"
@@ -214,5 +263,6 @@ let () =
           tc "threshold normalization shares entries" test_threshold_sharing;
           tc "disabled cache computes directly" test_disabled_computes_directly;
           tc "store backing survives a memory clear" test_store_backing;
+          tc "profile rates cached and store-backed" test_profile_rates_caching;
         ] );
     ]

@@ -237,6 +237,77 @@ let test_workload_invalid_stream () =
     (try ignore (Vp_workload.Workload.shape w 999_999); false
      with Invalid_argument _ -> true)
 
+(* --- Stream arenas --- *)
+
+(* A model whose load mix spans every stream shape — the spec models
+   between them never use plain [Periodic] — so the arena-vs-take
+   equality below exercises all seven, including the RNG-carrying ones
+   (noisy-periodic draws per value; pointer-chain and periodic seed their
+   structure at creation). *)
+let every_shape_model =
+  let sw generate = { Vp_workload.Spec_model.weight = 1.0 /. 7.0; generate } in
+  let open Vp_workload.Value_stream in
+  {
+    Vp_workload.Spec_model.compress with
+    name = "arena-coverage";
+    num_blocks = 24;
+    shape_mix =
+      [
+        sw (fun _ -> Constant 9);
+        sw (fun _ -> Strided { base = 10; stride = 4 });
+        sw (fun _ -> Periodic { period = 3 });
+        sw (fun _ -> Noisy_periodic { period = 3; noise = 0.1 });
+        sw (fun _ -> Mostly_strided { base = 0; stride = 4; jump_probability = 0.3 });
+        sw (fun _ -> Pointer_chain { nodes = 7 });
+        sw (fun _ -> Random { range = 1000 });
+      ];
+    chain_mix = None;
+  }
+
+let test_arena_matches_take () =
+  let w = Vp_workload.Workload.generate ~seed:11 every_shape_model in
+  let covered = Hashtbl.create 8 in
+  for id = 0 to Vp_workload.Workload.num_streams w - 1 do
+    Hashtbl.replace covered
+      (Vp_workload.Value_stream.shape_name (Vp_workload.Workload.shape w id))
+      ();
+    let n = 200 in
+    let arena = Vp_workload.Workload.arena w id ~min_len:n in
+    let taken =
+      Vp_workload.Value_stream.take (Vp_workload.Workload.stream w id) n
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "stream %d arena = take" id)
+      taken
+      (Array.to_list (Array.sub arena 0 n))
+  done;
+  checki "all seven shapes exercised" 7 (Hashtbl.length covered)
+
+let test_arena_growth () =
+  (* Growing an arena continues the same stream, it never re-draws. *)
+  let w = Vp_workload.Workload.generate ~seed:12 every_shape_model in
+  let id = 0 in
+  let small = Array.sub (Vp_workload.Workload.arena w id ~min_len:10) 0 10 in
+  let grown = Vp_workload.Workload.arena w id ~min_len:500 in
+  Alcotest.(check (list int))
+    "grown prefix unchanged"
+    (Array.to_list small)
+    (Array.to_list (Array.sub grown 0 10));
+  Alcotest.(check (list int))
+    "grown suffix = take"
+    (Vp_workload.Value_stream.take (Vp_workload.Workload.stream w id) 500)
+    (Array.to_list (Array.sub grown 0 500))
+
+let test_arena_shared_across_generate () =
+  (* Two generates of the same (model, seed) share one cache entry; the
+     values are a pure function of the key, so sharing is unobservable. *)
+  let a = Vp_workload.Workload.generate ~seed:13 every_shape_model in
+  let b = Vp_workload.Workload.generate ~seed:13 every_shape_model in
+  let va = Array.sub (Vp_workload.Workload.arena a 1 ~min_len:50) 0 50 in
+  let vb = Array.sub (Vp_workload.Workload.arena b 1 ~min_len:50) 0 50 in
+  Alcotest.(check (list int))
+    "same values" (Array.to_list va) (Array.to_list vb)
+
 let test_total_counts_near_target () =
   List.iter
     (fun (model : Vp_workload.Spec_model.t) ->
@@ -374,6 +445,9 @@ let () =
           tc "determinism" test_workload_determinism;
           tc "stream replay" test_workload_stream_replay;
           tc "invalid stream" test_workload_invalid_stream;
+          tc "arena matches take (all shapes)" test_arena_matches_take;
+          tc "arena growth" test_arena_growth;
+          tc "arena shared across generates" test_arena_shared_across_generate;
           tc "counts near target" test_total_counts_near_target;
           tc "generator statistics" test_generator_statistics;
           tc "shape mix statistics" test_shape_mix_statistics;
