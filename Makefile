@@ -22,10 +22,12 @@ fmt:
 check: build test
 
 # Full regeneration + Bechamel timings; machine-readable ns/run lands in
-# BENCH.json. bench-smoke is the seconds-scale CI variant: experiment-level
-# targets at a reduced measurement budget, kernel:* targets at full budget,
-# written to BENCH.smoke.json and gated against the committed BENCH.json
-# (>25% regression on any kernel:* target fails the build).
+# BENCH.json. bench-smoke is the seconds-scale CI variant: info-only
+# experiment targets at a reduced measurement budget, gated targets at
+# full budget, written to BENCH.smoke.json and checked against the
+# committed BENCH.json (kernel:* fails on a >25% regression; the
+# sweep-level targets — table4, ablation:threshold, sweep:ablation-warm,
+# hardware-validation, sweep:suite-graph — on a >40% one).
 bench:
 	dune exec bench/main.exe -- --json BENCH.json
 

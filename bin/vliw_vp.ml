@@ -112,7 +112,13 @@ let exec_opts_t =
 let make_exec (opts : Vp_exec.Cli.opts) =
   Vliw_vp.Spec_unit.set_enabled (not opts.no_spec_cache);
   Vp_exec.Cli.context ?progress:None opts
-let emit_telemetry = Vp_exec.Cli.emit_telemetry
+
+(* The spec-unit stripe counters ride along in the telemetry JSON so a
+   [--telemetry] run shows cache behaviour next to the job-graph stats. *)
+let emit_telemetry opts exec =
+  Vp_exec.Cli.emit_telemetry
+    ~extra:[ ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ()) ]
+    opts exec
 
 let with_setup f =
   let run width seed threshold names exec_opts =
@@ -301,16 +307,25 @@ let ablate_cmd =
         | None -> `Error (false, Printf.sprintf "unknown sweep %S" sweep)
         | Some settings ->
             let exec = make_exec exec_opts in
+            (* All models' sweeps on one graph: a later model's points can
+               run while an earlier model's reducer still waits. *)
+            let g = Vp_exec.Graph.create exec in
+            let nodes =
+              List.map
+                (fun model ->
+                  (model, Vliw_vp.Experiments.Suite.ablate g ~config model settings))
+                models
+            in
             List.iter
-              (fun model ->
+              (fun ((model : Vp_workload.Spec_model.t), node) ->
                 print_string
                   (Vliw_vp.Experiments.render_ablation
                      ~title:
                        (Printf.sprintf "%s: %s sweep"
                           model.Vp_workload.Spec_model.name sweep)
-                     (Vliw_vp.Experiments.ablate ~config ~exec model settings));
+                     (Vp_exec.Graph.await g node));
                 print_newline ())
-              models;
+              nodes;
             emit_telemetry exec_opts exec;
             `Ok ())
   in
@@ -575,26 +590,31 @@ let report_cmd =
 
 let all_cmd =
   let f ~config ~exec ~models =
-    let summaries = Vliw_vp.Experiments.run_all ~config ~exec models in
+    (* Declare every experiment on one graph before the first await: jobs
+       from different tables interleave barrier-free, and [table4]'s
+       narrow-width points dedup onto [run_all]'s benchmark jobs while
+       they are still in flight. *)
+    let module S = Vliw_vp.Experiments.Suite in
+    let g = Vp_exec.Graph.create exec in
+    let summaries_n = S.run_all g ~config models in
+    let table4_n = S.table4 g ~config models in
+    let regions_n = S.regions g ~config models in
+    let overlap_n = S.overlap_validation g ~config models in
+    let await n = Vp_exec.Graph.await g n in
+    let summaries = await summaries_n in
     print_string (Vliw_vp.Experiments.render_table2 summaries);
     print_newline ();
     print_string (Vliw_vp.Experiments.render_table3 summaries);
     print_newline ();
-    print_string
-      (Vliw_vp.Experiments.render_table4
-         (Vliw_vp.Experiments.table4 ~config ~exec models));
+    print_string (Vliw_vp.Experiments.render_table4 (await table4_n));
     print_newline ();
     print_string (Vliw_vp.Experiments.render_figure8 summaries);
     print_newline ();
     print_string (Vliw_vp.Experiments.render_comparison summaries);
     print_newline ();
-    print_string
-      (Vliw_vp.Experiments.render_regions
-         (Vliw_vp.Experiments.regions ~config ~exec models));
+    print_string (Vliw_vp.Experiments.render_regions (await regions_n));
     print_newline ();
-    print_string
-      (Vliw_vp.Experiments.render_overlap
-         (Vliw_vp.Experiments.overlap_validation ~config ~exec models));
+    print_string (Vliw_vp.Experiments.render_overlap (await overlap_n));
     print_newline ();
     Format.printf "%a@." Vliw_vp.Example.describe ()
   in

@@ -52,13 +52,17 @@ val run_all :
   ?exec:Vp_exec.Context.t ->
   Vp_workload.Spec_model.t list ->
   benchmark_summary list
-(** Every [?exec]-taking entry point submits its independent simulations as
-    keyed jobs through {!Vp_exec.Context.map_exn}: worker domains run them
-    concurrently, the context's result store skips recomputation of
-    anything already cached, and the context's progress sink accumulates
-    telemetry. The default context is sequential, storeless and silent —
-    bit-identical to the historical in-process evaluation. A failed or
-    watchdog-killed job raises {!Vp_exec.Context.Job_failed}. *)
+(** Every [?exec]-taking entry point declares its independent simulations
+    as keyed nodes of a {!Vp_exec.Graph} — leaf jobs plus one reducer that
+    folds them into the result rows — and drains it: worker domains run
+    the leaves concurrently, the context's result store skips
+    recomputation of anything already cached, and the context's progress
+    sink accumulates telemetry. The default context is sequential,
+    storeless and silent, and drains in declaration order — bit-identical
+    to the historical in-process evaluation. A failed or watchdog-killed
+    job raises {!Vp_exec.Context.Job_failed}. Suite drivers that want
+    several experiments on one barrier-free graph declare them through
+    {!Suite} instead. *)
 
 val render_table2 :
   ?format:[ `Ascii | `Csv ] -> benchmark_summary list -> string
@@ -268,3 +272,82 @@ val accounting_sweep : (string * (Config.t -> Config.t)) list
 
 val render_ablation :
   ?format:[ `Ascii | `Csv ] -> title:string -> ablation_point list -> string
+
+(** {1 Suite declarations}
+
+    The graph-declaration forms of the entry points above. Each declares
+    its leaf simulations and one reducer on a caller-supplied
+    {!Vp_exec.Graph} and returns the reducer node {e without draining}, so
+    a suite driver ([vliw_vp all], the report generator, the benchmark
+    harness) can declare every experiment it needs up front and let one
+    scheduler run the union barrier-free: leaves from different
+    experiments interleave freely, and a key that two experiments share —
+    e.g. [run_all]'s benchmark jobs and [table4]'s narrow-width jobs under
+    the same configuration — runs once, deduplicated while merely in
+    flight (the store only catches keys that already {e completed}).
+    [Vp_exec.Graph.await] on any returned node (or [drain]) runs the whole
+    graph; results then come from [await]/[value]. *)
+module Suite : sig
+  val run_all :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    Vp_workload.Spec_model.t list ->
+    benchmark_summary list Vp_exec.Graph.node
+
+  val table4 :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?narrow:int ->
+    ?wide:int ->
+    Vp_workload.Spec_model.t list ->
+    table4_row list Vp_exec.Graph.node
+
+  val regions :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?params:Vp_region.Superblock.params ->
+    Vp_workload.Spec_model.t list ->
+    region_row list Vp_exec.Graph.node
+
+  val overlap_validation :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?executions:int ->
+    Vp_workload.Spec_model.t list ->
+    overlap_row list Vp_exec.Graph.node
+
+  val hardware_validation :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?executions:int ->
+    Vp_workload.Spec_model.t list ->
+    (string * Trace_sim.result) list Vp_exec.Graph.node
+
+  val hyperblocks :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?params:Vp_region.Hyperblock.params ->
+    Vp_workload.Spec_model.t list ->
+    hyperblock_row list Vp_exec.Graph.node
+
+  val stability :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?seeds:int list ->
+    Vp_workload.Spec_model.t list ->
+    stability_row list Vp_exec.Graph.node
+
+  val recovery_sensitivity :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?penalties:int list ->
+    Vp_workload.Spec_model.t ->
+    (int * comparison) list Vp_exec.Graph.node
+
+  val ablate :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    Vp_workload.Spec_model.t ->
+    (string * (Config.t -> Config.t)) list ->
+    ablation_point list Vp_exec.Graph.node
+end

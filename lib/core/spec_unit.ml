@@ -1,12 +1,20 @@
 (* Shared spec-unit cache: per-block schedule / transform / compiled-kernel
    artifacts, memoized across sweep points (and, store-backed, across
    runs). See the interface for the key construction and the threshold
-   normalization argument. *)
+   normalization argument.
+
+   The cache is sharded: a key hashes to one of [stripe_count] stripes,
+   each with its own mutex and tables, so worker domains draining a warm
+   sweep contend on 1/16th of the lock traffic instead of serializing on
+   one global mutex. Hit/miss/eviction counters are per-stripe atomics,
+   bumped outside any lock — exact under any interleaving, and summing
+   them for [stats] needs no stop-the-world. *)
 
 (* 2: the prediction fast lane added the profile-rates artifact kind and
    moved profiling onto the unboxed kernels (results are byte-identical,
    but the bump retires any store entry written before the kernels were
-   the path of record). *)
+   the path of record). Striping the tables changes no artifact content,
+   so it keeps the version. *)
 let version = 2
 
 let enabled_flag = Atomic.make true
@@ -15,48 +23,119 @@ let enabled () = Atomic.get enabled_flag
 
 type stats = { hits : int; misses : int; evictions : int }
 
-let mutex = Mutex.create ()
-let hits = ref 0
-let misses = ref 0
-let evictions = ref 0
-let stats () = { hits = !hits; misses = !misses; evictions = !evictions }
+type compiled_entry = {
+  ce_ccb : int option;
+  ce_cce : int;
+  ce_live_in : int -> int;
+  ce_reference : Vp_engine.Reference.t;
+  ce_compiled : Vp_engine.Compiled.t;
+}
 
-(* Content-keyed tables: schedules and transform outcomes. Both key and
-   value are only meaningful within one binary ([Marshal.Closures] digests
-   code pointers), which is also the on-disk store's own versioning
-   contract. *)
-let sched_tbl : (string, Vp_sched.Schedule.t) Hashtbl.t = Hashtbl.create 256
+module Phys_tbl = Hashtbl.Make (struct
+  type t = Vp_vspec.Spec_block.t
 
-let xform_tbl : (string, Vp_vspec.Transform.outcome) Hashtbl.t =
-  Hashtbl.create 256
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
 
-let rates_tbl : (string, float array) Hashtbl.t = Hashtbl.create 256
+type stripe = {
+  lock : Mutex.t;
+  sched : (string, Vp_sched.Schedule.t) Hashtbl.t;
+  xform : (string, Vp_vspec.Transform.outcome) Hashtbl.t;
+  rates : (string, float array) Hashtbl.t;
+  comp : compiled_entry list ref Phys_tbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
 
-(* A hard cap keeps unbounded sweeps from growing the tables forever; a
-   full reset is crude but the working set of one sweep refills in a few
-   hundred microseconds. *)
-let table_cap = 8192
+let stripe_count = 16
+
+let stripes =
+  Array.init stripe_count (fun _ ->
+      {
+        lock = Mutex.create ();
+        sched = Hashtbl.create 32;
+        xform = Hashtbl.create 32;
+        rates = Hashtbl.create 32;
+        comp = Phys_tbl.create 32;
+        hits = Atomic.make 0;
+        misses = Atomic.make 0;
+        evictions = Atomic.make 0;
+      })
+
+(* [Hashtbl.hash] over a digest string mixes well; mask to a stripe. *)
+let stripe_of hashable = stripes.(Hashtbl.hash hashable land (stripe_count - 1))
+
+let stripe_stats () =
+  Array.map
+    (fun s : stats ->
+      {
+        hits = Atomic.get s.hits;
+        misses = Atomic.get s.misses;
+        evictions = Atomic.get s.evictions;
+      })
+    stripes
+
+let stats () =
+  Array.fold_left
+    (fun (acc : stats) s : stats ->
+      {
+        hits = acc.hits + Atomic.get s.hits;
+        misses = acc.misses + Atomic.get s.misses;
+        evictions = acc.evictions + Atomic.get s.evictions;
+      })
+    { hits = 0; misses = 0; evictions = 0 }
+    stripes
+
+let telemetry_json () =
+  let buf = Buffer.create 256 in
+  let total = stats () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"stripes\": ["
+       total.hits total.misses total.evictions);
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"hits\": %d, \"misses\": %d}" (Atomic.get s.hits)
+           (Atomic.get s.misses)))
+    stripes;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Per-stripe caps keep the totals of the unsharded design: 8192 content
+   entries and 1024 compiled blocks overall; a full stripe resets alone,
+   so an unbounded sweep sheds 1/16th of its working set at a time. *)
+let table_cap = 8192 / stripe_count
+let comp_cap = 1024 / stripe_count
+let comp_entries_cap = 8
 
 let digest_key payload =
   Digest.to_hex (Digest.string (Marshal.to_string payload [ Marshal.Closures ]))
 
-(* Memory, then store, then compute — computation runs outside the lock,
-   so racing domains can duplicate work but never see a partial entry. *)
-let cached (tbl : (string, 'a) Hashtbl.t) ?store ~key (compute : unit -> 'a) :
-    'a =
+(* Memory, then store, then compute — computation runs outside the stripe
+   lock, so racing domains can duplicate work but never see a partial
+   entry. The table selector is a field access so [cached] works on any
+   of the string-keyed artifact tables of the key's stripe. *)
+let cached (table : stripe -> (string, 'a) Hashtbl.t) ?store ~key
+    (compute : unit -> 'a) : 'a =
   if not (enabled ()) then compute ()
   else
-    let mem = Mutex.protect mutex (fun () -> Hashtbl.find_opt tbl key) in
+    let s = stripe_of key in
+    let tbl = table s in
+    let mem = Mutex.protect s.lock (fun () -> Hashtbl.find_opt tbl key) in
     match mem with
     | Some v ->
-        Mutex.protect mutex (fun () -> incr hits);
+        Atomic.incr s.hits;
         v
     | None ->
         let from_store =
           match store with
           | None -> None
-          | Some s -> (
-              match Vp_exec.Store.find s ~key with
+          | Some st -> (
+              match Vp_exec.Store.find st ~key with
               | Vp_exec.Store.Hit v -> Some v
               | Vp_exec.Store.Miss | Vp_exec.Store.Evicted -> None)
         in
@@ -66,14 +145,15 @@ let cached (tbl : (string, 'a) Hashtbl.t) ?store ~key (compute : unit -> 'a) :
           | None ->
               let v = compute () in
               (match store with
-              | Some s -> Vp_exec.Store.put s ~key v
+              | Some st -> Vp_exec.Store.put st ~key v
               | None -> ());
               (v, false)
         in
-        Mutex.protect mutex (fun () ->
-            if was_hit then incr hits else incr misses;
+        if was_hit then Atomic.incr s.hits else Atomic.incr s.misses;
+        Mutex.protect s.lock (fun () ->
             if Hashtbl.length tbl >= table_cap then begin
-              evictions := !evictions + Hashtbl.length tbl;
+              ignore
+                (Atomic.fetch_and_add s.evictions (Hashtbl.length tbl));
               Hashtbl.reset tbl
             end;
             if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
@@ -81,7 +161,7 @@ let cached (tbl : (string, 'a) Hashtbl.t) ?store ~key (compute : unit -> 'a) :
 
 let schedule ?store descr block =
   let key = digest_key ("spec-unit-schedule", version, descr, block) in
-  cached sched_tbl ?store ~key (fun () ->
+  cached (fun s -> s.sched) ?store ~key (fun () ->
       Vp_sched.List_scheduler.schedule_block descr block)
 
 (* The transform reads the threshold only through the predicate
@@ -107,7 +187,7 @@ let transform ?store ~(policy : Vp_vspec.Policy.t) descr
     digest_key ("spec-unit-transform", version, descr, policy0, masked, block)
   in
   let outcome =
-    cached xform_tbl ?store ~key (fun () ->
+    cached (fun s -> s.xform) ?store ~key (fun () ->
         let baseline = schedule ?store descr block in
         Vp_vspec.Transform.apply ~policy:policy0 ~baseline descr
           ~rate:(fun (op : Vp_ir.Operation.t) -> masked.(op.id))
@@ -140,40 +220,23 @@ let profile_rates ?store workload ~stream ~samples ~kinds =
         samples,
         kinds )
   in
-  cached rates_tbl ?store ~key (fun () ->
+  cached (fun s -> s.rates) ?store ~key (fun () ->
       Vp_profile.Value_profile.stream_rates workload ~stream ~samples ~kinds)
 
 (* Compiled kernels: keyed physically on the spec block. The reuse this
    cache exists for — the same block under several CCE shapes, or repeated
    runs of one sweep point — always goes through the transform cache first
    and therefore holds the same physical [sb]; content-digesting a whole
-   spec block would cost more than the compile it saves. *)
-type compiled_entry = {
-  ce_ccb : int option;
-  ce_cce : int;
-  ce_live_in : int -> int;
-  ce_reference : Vp_engine.Reference.t;
-  ce_compiled : Vp_engine.Compiled.t;
-}
-
-module Phys_tbl = Hashtbl.Make (struct
-  type t = Vp_vspec.Spec_block.t
-
-  let equal = ( == )
-  let hash = Hashtbl.hash
-end)
-
-let comp_tbl : compiled_entry list ref Phys_tbl.t = Phys_tbl.create 256
-let comp_cap = 1024
-let comp_entries_cap = 8
-
+   spec block would cost more than the compile it saves. The stripe is
+   chosen by the block's physical hash, the same hash [Phys_tbl] uses. *)
 let compiled ?ccb_capacity ~cce_retire_width ~live_in sb ~reference =
   if not (enabled ()) then
     Vp_engine.Compiled.compile ?ccb_capacity ~cce_retire_width sb ~reference
       ~live_in
   else
+    let s = stripe_of sb in
     let find () =
-      match Phys_tbl.find_opt comp_tbl sb with
+      match Phys_tbl.find_opt s.comp sb with
       | None -> None
       | Some entries ->
           List.find_opt
@@ -184,27 +247,28 @@ let compiled ?ccb_capacity ~cce_retire_width ~live_in sb ~reference =
               && e.ce_reference = reference)
             !entries
     in
-    match Mutex.protect mutex find with
+    match Mutex.protect s.lock find with
     | Some e ->
-        Mutex.protect mutex (fun () -> incr hits);
+        Atomic.incr s.hits;
         e.ce_compiled
     | None ->
         let compiled =
           Vp_engine.Compiled.compile ?ccb_capacity ~cce_retire_width sb
             ~reference ~live_in
         in
-        Mutex.protect mutex (fun () ->
-            incr misses;
-            if Phys_tbl.length comp_tbl >= comp_cap then begin
-              evictions := !evictions + Phys_tbl.length comp_tbl;
-              Phys_tbl.reset comp_tbl
+        Atomic.incr s.misses;
+        Mutex.protect s.lock (fun () ->
+            if Phys_tbl.length s.comp >= comp_cap then begin
+              ignore
+                (Atomic.fetch_and_add s.evictions (Phys_tbl.length s.comp));
+              Phys_tbl.reset s.comp
             end;
             let entries =
-              match Phys_tbl.find_opt comp_tbl sb with
+              match Phys_tbl.find_opt s.comp sb with
               | Some entries -> entries
               | None ->
                   let entries = ref [] in
-                  Phys_tbl.add comp_tbl sb entries;
+                  Phys_tbl.add s.comp sb entries;
                   entries
             in
             entries :=
@@ -221,11 +285,14 @@ let compiled ?ccb_capacity ~cce_retire_width ~live_in sb ~reference =
         compiled
 
 let clear () =
-  Mutex.protect mutex (fun () ->
-      Hashtbl.reset sched_tbl;
-      Hashtbl.reset xform_tbl;
-      Hashtbl.reset rates_tbl;
-      Phys_tbl.reset comp_tbl;
-      hits := 0;
-      misses := 0;
-      evictions := 0)
+  Array.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.sched;
+          Hashtbl.reset s.xform;
+          Hashtbl.reset s.rates;
+          Phys_tbl.reset s.comp;
+          Atomic.set s.hits 0;
+          Atomic.set s.misses 0;
+          Atomic.set s.evictions 0))
+    stripes

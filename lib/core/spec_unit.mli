@@ -30,12 +30,16 @@
     observable difference — the "no load above the %.2f profile threshold"
     message embeds the threshold — is rewritten on every return.
 
-    All operations are thread-safe ([Mutex]-protected tables; computation
-    happens outside the lock, so racing domains may duplicate work but
-    never produce a wrong answer). Results are structurally equal to the
-    uncached computations — property-tested in [test/test_spec_unit.ml] —
-    so pipeline output is byte-identical with the cache on, off, warm or
-    cold. *)
+    All operations are thread-safe and {b sharded}: a key hashes to one of
+    {!stripe_count} stripes, each with its own mutex and tables, so worker
+    domains draining a warm sweep stop serializing on a single global
+    lock. Computation happens outside the stripe lock — racing domains may
+    duplicate work but never produce a wrong answer — and the
+    hit/miss/eviction counters are per-stripe atomics bumped outside any
+    lock, so {!stats} stays exact under any interleaving. Results are
+    structurally equal to the uncached computations — property-tested in
+    [test/test_spec_unit.ml] — so pipeline output is byte-identical with
+    the cache on, off, warm or cold. *)
 
 val version : int
 (** Artifact-format version. Bumped whenever the semantics of the cached
@@ -54,8 +58,21 @@ val enabled : unit -> bool
 type stats = { hits : int; misses : int; evictions : int }
 
 val stats : unit -> stats
-(** Process-wide counters: [hits] counts memory and store hits, [misses]
-    actual computations, [evictions] entries dropped by the table cap. *)
+(** Process-wide counters, summed over stripes: [hits] counts memory and
+    store hits, [misses] actual computations, [evictions] entries dropped
+    by a stripe's table cap. *)
+
+val stripe_count : int
+(** Number of cache shards (a power of two; keys hash to a stripe). *)
+
+val stripe_stats : unit -> stats array
+(** Per-stripe counters, index-aligned with the stripes — the telemetry
+    view of how evenly the key hash spreads the load. *)
+
+val telemetry_json : unit -> string
+(** [{"hits": .., "misses": .., "evictions": .., "stripes": [{"hits": ..,
+    "misses": ..}, ...]}] — the [spec_unit] section front ends attach to
+    the [--telemetry] summary via [Vp_exec.Cli.emit_telemetry ~extra]. *)
 
 val clear : unit -> unit
 (** Drop every in-memory entry and zero {!stats} (tests, benchmarks). *)

@@ -76,11 +76,11 @@ let context ?progress opts =
   in
   Context.create ~jobs:opts.jobs ?store ~progress ()
 
-let emit_telemetry opts (exec : Context.t) =
+let emit_telemetry ?extra opts (exec : Context.t) =
   match opts.telemetry with
   | None -> ()
   | Some dest ->
-      let json = Progress.json_summary exec.progress in
+      let json = Progress.json_summary ?extra exec.progress in
       if dest = "-" then Printf.eprintf "%s\n%!" json
       else
         let oc = open_out dest in

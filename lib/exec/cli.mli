@@ -39,6 +39,9 @@ val context : ?progress:Progress.t -> opts -> Context.t
     one temp-file write) downgrades to a storeless context with a single
     [stderr] warning instead of failing per job. *)
 
-val emit_telemetry : opts -> Context.t -> unit
+val emit_telemetry :
+  ?extra:(string * string) list -> opts -> Context.t -> unit
 (** Write the context's telemetry summary to the configured destination,
-    if any. *)
+    if any. [extra] pairs are appended as top-level JSON fields (see
+    {!Progress.json_summary}) — the front ends use this to attach the
+    spec-unit stripe counters, which live in a library above this one. *)

@@ -37,6 +37,13 @@ val create :
   t
 (** Defaults: [jobs = 1], no store, silent progress, no watchdog. *)
 
+val with_store : t -> 'a Job.spec -> 'a Job.spec
+(** Wrap a job's [run] with the context's store lookup (hit → the cached
+    value, miss → run then cache), recording hits/misses/evictions on the
+    context's progress sink. The identity when the context has no store.
+    {!map} applies this to every job; {!Graph} applies it to cacheable
+    nodes only. *)
+
 val map : t -> 'a Job.spec list -> 'a Job.outcome list
 
 val map_exn : t -> 'a Job.spec list -> 'a list

@@ -1,0 +1,383 @@
+(* The suite job graph. All structural state — nodes, edges, readiness,
+   the priority heap — lives behind one graph mutex; payloads execute
+   outside it (through [Pool.execute], so job accounting, RNG contexts and
+   the watchdog behave exactly as in a flat pool batch). Results are
+   stored as [Obj.t]: the key is the node's only identity under in-flight
+   dedup, so the phantom type on ['a node] is the caller's contract, as
+   with the store's [Marshal] payloads. *)
+
+exception Cycle of string list
+
+let () =
+  Printexc.register_printer (function
+    | Cycle path ->
+        Some
+          (Printf.sprintf "dependency cycle: %s" (String.concat " -> " path))
+    | _ -> None)
+
+type status =
+  | Pending  (** has unfinished dependencies *)
+  | Ready  (** in the heap, waiting for a worker *)
+  | Running
+  | Finished of (Obj.t, string) result
+
+type nd = {
+  id : int;  (** declaration sequence number — the deterministic tiebreak *)
+  key : string;
+  label : string;
+  group : string option;
+  cache : bool;
+  payload : Job.ctx -> Obj.t;
+  mutable status : status;
+  mutable deps : nd list;
+  mutable dependents : nd list;
+  mutable unmet : int;  (** unfinished dependencies *)
+  mutable crit : int;  (** critical-path priority: 1 + longest dependent chain *)
+}
+
+type 'a node = nd
+type packed = nd
+
+let pack n = n
+
+(* Heap entries snapshot (crit, id) at push time. A node whose priority
+   rises while Ready is pushed again; the stale lower-priority entry pops
+   later and is skipped because the node is no longer Ready. *)
+type entry = { e_crit : int; e_id : int; e_nd : nd }
+
+module Heap = struct
+  type t = { mutable a : entry array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  (* max-heap: higher crit first, then earlier declaration *)
+  let above x y = x.e_crit > y.e_crit || (x.e_crit = y.e_crit && x.e_id < y.e_id)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (max 16 (2 * h.n)) e in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      above h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.n && above h.a.(l) h.a.(!best) then best := l;
+        if r < h.n && above h.a.(r) h.a.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.a.(!best) in
+          h.a.(!best) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+end
+
+type t = {
+  ctx : Context.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  by_key : (string, nd) Hashtbl.t;
+  heap : Heap.t;
+  mutable next_id : int;
+  mutable pending : int;  (** nodes not yet [Finished] *)
+  mutable running_count : int;
+  mutable stalled : bool;  (** defensive: drain found no runnable work *)
+}
+
+let create ctx =
+  {
+    ctx;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    by_key = Hashtbl.create 64;
+    heap = Heap.create ();
+    next_id = 0;
+    pending = 0;
+    running_count = 0;
+    stalled = false;
+  }
+
+let context t = t.ctx
+let size t = t.next_id
+
+(* --- structural helpers; graph mutex held --- *)
+
+let rec dep_path src target =
+  if src == target then Some [ src.key ]
+  else
+    List.fold_left
+      (fun acc d ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match dep_path d target with
+            | Some path -> Some (src.key :: path)
+            | None -> None))
+      None src.deps
+
+let make_ready t n =
+  n.status <- Ready;
+  Heap.push t.heap { e_crit = n.crit; e_id = n.id; e_nd = n };
+  Condition.broadcast t.cond
+
+let rec bump_crit t n c =
+  if n.crit < c then begin
+    n.crit <- c;
+    (match n.status with
+    | Ready -> Heap.push t.heap { e_crit = n.crit; e_id = n.id; e_nd = n }
+    | Pending | Running | Finished _ -> ());
+    List.iter (fun d -> bump_crit t d (c + 1)) n.deps
+  end
+
+let rec poison t n ~root ~msg =
+  match n.status with
+  | Pending | Ready ->
+      n.status <-
+        Finished
+          (Error (Printf.sprintf "poisoned: dependency %s failed: %s" root msg));
+      t.pending <- t.pending - 1;
+      (* account the node as a failed job: it was queued and will never
+         run, so started/failed keeps the progress ledger balanced *)
+      Progress.job_started t.ctx.Context.progress ~label:n.label;
+      Progress.job_failed t.ctx.Context.progress ~wall:0.0;
+      List.iter (fun d -> poison t d ~root ~msg) n.dependents
+  | Running | Finished _ -> ()
+
+let link t n ~on:d =
+  match n.status with
+  | Running | Finished _ -> ()  (* ordering already satisfied *)
+  | Pending | Ready ->
+      if d == n then raise (Cycle [ n.key ]);
+      if not (List.memq d n.deps) then begin
+        (match dep_path d n with
+        | Some path -> raise (Cycle (n.key :: path))
+        | None -> ());
+        n.deps <- d :: n.deps;
+        bump_crit t d (n.crit + 1);
+        match d.status with
+        | Finished (Ok _) -> ()
+        | Finished (Error msg) -> poison t n ~root:d.key ~msg
+        | Pending | Ready | Running ->
+            d.dependents <- n :: d.dependents;
+            n.unmet <- n.unmet + 1;
+            (* a Ready node that gains a live dependency is un-readied;
+               its stale heap entry is skipped on pop *)
+            if n.status = Ready then n.status <- Pending
+      end
+
+let fail_node t n msg =
+  n.status <- Finished (Error msg);
+  t.pending <- t.pending - 1;
+  List.iter (fun d -> poison t d ~root:n.key ~msg) n.dependents
+
+let settle t n (outcome : Obj.t Job.outcome) =
+  match outcome with
+  | Job.Done v ->
+      n.status <- Finished (Ok v);
+      t.pending <- t.pending - 1;
+      List.iter
+        (fun d ->
+          match d.status with
+          | Pending ->
+              d.unmet <- d.unmet - 1;
+              if d.unmet = 0 then make_ready t d
+          | Ready | Running | Finished _ -> ())
+        n.dependents
+  | Job.Failed msg -> fail_node t n msg
+  | Job.Timed_out msg -> fail_node t n ("timed out: " ^ msg)
+
+let rec pop_ready t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some e -> (
+      match e.e_nd.status with
+      | Ready ->
+          e.e_nd.status <- Running;
+          t.running_count <- t.running_count + 1;
+          Some e.e_nd
+      | Pending | Running | Finished _ -> pop_ready t)
+
+(* --- declaration --- *)
+
+let node t ?label ?group ?(cache = true) ~key ?(deps = []) payload =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.by_key key with
+      | Some existing ->
+          Progress.job_deduped t.ctx.Context.progress;
+          List.iter (fun d -> link t existing ~on:d) deps;
+          existing
+      | None ->
+          let label =
+            match label with
+            | Some l -> l
+            | None ->
+                if String.length key <= 24 then key else String.sub key 0 24
+          in
+          let n =
+            {
+              id = t.next_id;
+              key;
+              label;
+              group;
+              cache;
+              payload = (fun ctx -> Obj.repr (payload ctx));
+              status = Pending;
+              deps = [];
+              dependents = [];
+              unmet = 0;
+              crit = 1;
+            }
+          in
+          t.next_id <- t.next_id + 1;
+          t.pending <- t.pending + 1;
+          Hashtbl.add t.by_key key n;
+          Progress.add_queued t.ctx.Context.progress 1;
+          List.iter (fun d -> link t n ~on:d) deps;
+          if n.unmet = 0 then make_ready t n;
+          n)
+
+let add_dep t n ~on =
+  Mutex.protect t.mutex (fun () ->
+      match n.status with
+      | Running | Finished _ ->
+          invalid_arg "Graph.add_dep: node already running or finished"
+      | Pending | Ready -> link t n ~on)
+
+let value (n : 'a node) : 'a =
+  match n.status with
+  | Finished (Ok v) -> Obj.obj v
+  | Finished (Error msg) ->
+      invalid_arg
+        (Printf.sprintf "Graph.value: node %s failed: %s" n.label msg)
+  | Pending | Ready | Running ->
+      invalid_arg
+        (Printf.sprintf "Graph.value: node %s has not finished" n.label)
+
+(* --- execution --- *)
+
+let execute_node t n =
+  let spec = Job.make ~label:n.label ~key:n.key n.payload in
+  let spec = if n.cache then Context.with_store t.ctx spec else spec in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Pool.execute ?watchdog_s:t.ctx.Context.watchdog_s
+      ~progress:t.ctx.Context.progress spec
+  in
+  (match n.group with
+  | Some group ->
+      Progress.group_wall t.ctx.Context.progress ~group
+        ~wall:(Unix.gettimeofday () -. t0)
+  | None -> ());
+  outcome
+
+let stall_keys t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun _ n acc ->
+         match n.status with Finished _ -> acc | _ -> n.key :: acc)
+       t.by_key [])
+
+let drain_sequential t =
+  let rec loop () =
+    match Mutex.protect t.mutex (fun () -> pop_ready t) with
+    | Some n ->
+        let outcome = execute_node t n in
+        Mutex.protect t.mutex (fun () ->
+            t.running_count <- t.running_count - 1;
+            settle t n outcome);
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let drain_parallel t =
+  let worker () =
+    let rec loop () =
+      let action =
+        Mutex.protect t.mutex (fun () ->
+            let rec get () =
+              if t.pending = 0 || t.stalled then `Stop
+              else
+                match pop_ready t with
+                | Some n -> `Run n
+                | None ->
+                    if t.running_count = 0 then begin
+                      (* nothing ready, nothing running, work pending:
+                         the drain can make no further progress *)
+                      t.stalled <- true;
+                      Condition.broadcast t.cond;
+                      `Stop
+                    end
+                    else begin
+                      Condition.wait t.cond t.mutex;
+                      get ()
+                    end
+            in
+            get ())
+      in
+      match action with
+      | `Stop -> ()
+      | `Run n ->
+          let outcome = execute_node t n in
+          Mutex.protect t.mutex (fun () ->
+              t.running_count <- t.running_count - 1;
+              settle t n outcome;
+              Condition.broadcast t.cond);
+          loop ()
+    in
+    loop ()
+  in
+  let workers =
+    Mutex.protect t.mutex (fun () ->
+        max 1 (min t.ctx.Context.jobs t.pending))
+  in
+  let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains
+
+let drain t =
+  if Mutex.protect t.mutex (fun () -> t.pending > 0) then begin
+    let progress = t.ctx.Context.progress in
+    Progress.set_workers progress (max 1 t.ctx.Context.jobs);
+    if t.ctx.Context.jobs <= 1 then drain_sequential t else drain_parallel t;
+    Progress.finish progress;
+    if Mutex.protect t.mutex (fun () -> t.pending > 0) then
+      raise (Cycle (stall_keys t))
+  end
+
+let await t (n : 'a node) : 'a =
+  (match n.status with Finished _ -> () | Pending | Ready | Running -> drain t);
+  match n.status with
+  | Finished (Ok v) -> Obj.obj v
+  | Finished (Error message) ->
+      raise (Context.Job_failed { key = n.key; label = n.label; message })
+  | Pending | Ready | Running ->
+      (* drain either finishes every node or raises *)
+      assert false

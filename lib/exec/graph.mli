@@ -1,0 +1,106 @@
+(** Dependency-aware suite executor: a DAG of keyed jobs over one
+    {!Context}.
+
+    Experiments declare their work as {e nodes} — a content-addressed job
+    key, a payload closure, dependencies on other nodes and (typically) a
+    reducer node that folds dependency values into the experiment's result
+    — instead of running one barriered {!Context.map_exn} batch each. One
+    scheduler then drains every declared node through the {!Pool}
+    machinery with no inter-experiment barriers: a reducer becomes ready
+    the moment its own dependencies finish, regardless of how many
+    unrelated nodes are still queued.
+
+    {b In-flight deduplication.} Declaring a node whose [key] is already
+    on the graph returns the {e existing} node ({!Progress.job_deduped} is
+    recorded): two experiments submitting the same job share one
+    computation before it ever lands in the {!Store}. The store dedups
+    completed results across runs; the graph dedups concurrent intent
+    within one. Since the key is the only identity, the declared return
+    types must agree for a given key — the same contract as the store's
+    [Marshal]-typed payloads, where type safety is the caller's side of
+    the bargain.
+
+    {b Priority.} Ready nodes run in critical-path order: a node's
+    priority is the length of the longest dependency chain hanging off it
+    (a leaf three reducers deep outranks a free-standing leaf), with the
+    declaration sequence breaking ties. With [jobs = 1] the drain is fully
+    deterministic — nodes run one at a time in that order — which keeps
+    sequential output the byte-identical reference for any [--jobs N].
+
+    {b Failure.} A node that raises (or times out under the context's
+    watchdog) poisons its transitive dependents: they are marked failed
+    without running. Independent nodes are unaffected; {!await} on a
+    failed or poisoned node raises {!Context.Job_failed}.
+
+    {b Cycles.} Dependency edges are checked at declaration; an edge that
+    would close a cycle raises {!Cycle} with the offending key path, so a
+    cyclic suite fails fast rather than deadlocking the drain. *)
+
+type t
+(** A graph of declared nodes bound to one {!Context.t}. Declare with
+    {!node}/{!add_dep}, run with {!await} or {!drain}. Not reentrant:
+    declaring or awaiting from inside a node's payload is unsupported. *)
+
+type 'a node
+(** A declared job producing an ['a]. The phantom type is the caller's
+    claim — see the dedup contract above. *)
+
+type packed
+(** An existentially packed node, for heterogeneous dependency lists. *)
+
+exception Cycle of string list
+(** The key path of the rejected dependency cycle, source first. *)
+
+val create : Context.t -> t
+(** An empty graph over the context's pool width, store, progress sink and
+    watchdog. *)
+
+val context : t -> Context.t
+
+val pack : _ node -> packed
+
+val node :
+  t ->
+  ?label:string ->
+  ?group:string ->
+  ?cache:bool ->
+  key:string ->
+  ?deps:packed list ->
+  (Job.ctx -> 'a) ->
+  'a node
+(** Declare (or dedup onto) the node for [key]. [deps] must finish before
+    the payload runs; read their results inside the payload with {!value}.
+    [cache ]defaults to [true]: the payload is wrapped with the context's
+    {!Store} lookup exactly like a {!Context.map} job. Reducers pass
+    [~cache:false] — their inputs are already cached or deduped, and a
+    store round-trip on the fold would just marshal the same data twice.
+    [group] names the experiment for {!Progress.group_wall} telemetry.
+    Dedup keeps the first declaration's label, group, cache flag, payload
+    {e and} dependencies; later [deps] are still linked (and
+    cycle-checked) so the union of declared orderings holds. *)
+
+val value : 'a node -> 'a
+(** The node's result. Only valid once the node finished successfully —
+    inside a dependent's payload, or after {!await}/{!drain} — and raises
+    [Invalid_argument] otherwise. *)
+
+val add_dep : t -> packed -> on:packed -> unit
+(** [add_dep t n ~on:d] orders [d] before [n] after both were declared.
+    Raises {!Cycle} (and leaves the graph unchanged) if [d] already
+    depends on [n]; raises [Invalid_argument] if [n] is running or
+    finished. *)
+
+val await : t -> 'a node -> 'a
+(** The node's result, draining the {e whole} graph first if it has not
+    finished — every declared node runs, not just the awaited subtree, so
+    a sequence of [await]s over one graph executes barrier-free: later
+    experiments' nodes interleave with the first await's drain. Raises
+    {!Context.Job_failed} if the node failed, timed out or was poisoned. *)
+
+val drain : t -> unit
+(** Run every unfinished node; referenced results stay readable through
+    {!value}. Raises {!Cycle} if the drain stalls with unfinished nodes —
+    defensive, {!node}/{!add_dep} already reject cyclic edges. *)
+
+val size : t -> int
+(** Nodes declared (dedup hits not counted). *)

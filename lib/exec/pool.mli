@@ -26,3 +26,11 @@ val run :
   jobs:int ->
   'a Job.spec list ->
   'a Job.outcome list
+
+val execute :
+  ?watchdog_s:float -> progress:Progress.t -> 'a Job.spec -> 'a Job.outcome
+(** Run one job in the calling domain with the pool's per-job machinery —
+    key-derived RNG context, watchdog deadline, progress accounting,
+    exception-to-outcome conversion. This is the single-job primitive
+    {!run} loops over; {!Graph} drives it directly so a DAG scheduler and
+    a flat batch execute jobs identically. *)

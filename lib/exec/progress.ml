@@ -4,6 +4,8 @@ type snapshot = {
   completed : int;
   failed : int;
   timed_out : int;
+  deduped : int;
+  peak_in_flight : int;
   cache_hits : int;
   cache_misses : int;
   corrupt_evicted : int;
@@ -11,6 +13,8 @@ type snapshot = {
   wall_total : float;
   job_wall_total : float;
   job_wall_max : float;
+  groups : int;
+  fork_join_estimate_s : float;
 }
 
 type t = {
@@ -22,12 +26,15 @@ type t = {
   mutable completed : int;
   mutable failed : int;
   mutable timed_out : int;
+  mutable deduped : int;
+  mutable peak_in_flight : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable corrupt_evicted : int;
   mutable workers : int;
   mutable job_wall_total : float;
   mutable job_wall_max : float;
+  group_wall_max : (string, float) Hashtbl.t;
   mutable painted : bool;  (** a live line is currently on screen *)
 }
 
@@ -41,12 +48,15 @@ let make ~live =
     completed = 0;
     failed = 0;
     timed_out = 0;
+    deduped = 0;
+    peak_in_flight = 0;
     cache_hits = 0;
     cache_misses = 0;
     corrupt_evicted = 0;
     workers = 1;
     job_wall_total = 0.0;
     job_wall_max = 0.0;
+    group_wall_max = Hashtbl.create 16;
     painted = false;
   }
 
@@ -93,7 +103,22 @@ let record t f =
 
 let add_queued t n = record t (fun t -> t.queued <- t.queued + n)
 
-let job_started t ~label:_ = record t (fun t -> t.running <- t.running + 1)
+let job_started t ~label:_ =
+  record t (fun t ->
+      t.running <- t.running + 1;
+      if t.running > t.peak_in_flight then t.peak_in_flight <- t.running)
+
+let job_deduped t = record t (fun t -> t.deduped <- t.deduped + 1)
+
+(* The fork-join estimate: if each group had run as its own barriered
+   batch on unboundedly many workers, the suite would cost the sum of
+   each group's slowest job. The gap between that and [wall_total] at
+   high [--jobs] is the win from removing inter-experiment barriers. *)
+let group_wall t ~group ~wall =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.group_wall_max group with
+      | Some w when w >= wall -> ()
+      | _ -> Hashtbl.replace t.group_wall_max group wall)
 
 let settle t ~wall =
   t.running <- t.running - 1;
@@ -138,6 +163,8 @@ let snapshot t =
         completed = t.completed;
         failed = t.failed;
         timed_out = t.timed_out;
+        deduped = t.deduped;
+        peak_in_flight = t.peak_in_flight;
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         corrupt_evicted = t.corrupt_evicted;
@@ -145,11 +172,14 @@ let snapshot t =
         wall_total = Unix.gettimeofday () -. t.started_at;
         job_wall_total = t.job_wall_total;
         job_wall_max = t.job_wall_max;
+        groups = Hashtbl.length t.group_wall_max;
+        fork_join_estimate_s =
+          Hashtbl.fold (fun _ w acc -> acc +. w) t.group_wall_max 0.0;
       })
 
 let render_line t = locked t (fun () -> unsafe_render_line t)
 
-let json_summary t =
+let json_summary ?(extra = []) t =
   let s = snapshot t in
   let mean_job =
     let n = s.completed + s.failed + s.timed_out in
@@ -160,12 +190,20 @@ let json_summary t =
     if capacity <= 0.0 then 0.0
     else Float.min 1.0 (s.job_wall_total /. capacity)
   in
+  let extra_fields =
+    String.concat ""
+      (List.map (fun (name, json) -> Printf.sprintf ", \"%s\": %s" name json)
+         extra)
+  in
   Printf.sprintf
     "{\"jobs\": {\"queued\": %d, \"done\": %d, \"failed\": %d, \
      \"timed_out\": %d}, \"cache\": {\"hits\": %d, \"misses\": %d, \
      \"corrupt_evicted\": %d}, \"wall_s\": {\"total\": %.3f, \"mean_job\": \
      %.3f, \"max_job\": %.3f}, \"workers\": {\"count\": %d, \
-     \"utilization\": %.3f}}"
+     \"utilization\": %.3f}, \"graph\": {\"deduped\": %d, \
+     \"peak_in_flight\": %d, \"groups\": %d, \"fork_join_estimate_s\": \
+     %.3f}%s}"
     s.queued s.completed s.failed s.timed_out s.cache_hits s.cache_misses
     s.corrupt_evicted s.wall_total mean_job s.job_wall_max s.workers
-    utilization
+    utilization s.deduped s.peak_in_flight s.groups s.fork_join_estimate_s
+    extra_fields

@@ -21,6 +21,10 @@ type snapshot = {
   completed : int;  (** jobs that returned a value *)
   failed : int;
   timed_out : int;
+  deduped : int;
+      (** graph nodes resolved by in-flight deduplication — a submission
+          whose key matched a node already declared on the same graph *)
+  peak_in_flight : int;  (** highest simultaneous [running] observed *)
   cache_hits : int;
   cache_misses : int;  (** store lookups that had to compute *)
   corrupt_evicted : int;  (** cache entries evicted as unreadable *)
@@ -28,6 +32,10 @@ type snapshot = {
   wall_total : float;  (** seconds since [create] *)
   job_wall_total : float;  (** summed per-job wall seconds *)
   job_wall_max : float;
+  groups : int;  (** distinct job groups that reported a wall time *)
+  fork_join_estimate_s : float;
+      (** sum over groups of the group's slowest job — what a barriered
+          per-experiment fork-join would cost on unboundedly many workers *)
 }
 
 val create : ?live:bool -> unit -> t
@@ -43,6 +51,14 @@ val job_started : t -> label:string -> unit
 val job_done : t -> wall:float -> unit
 val job_failed : t -> wall:float -> unit
 val job_timed_out : t -> wall:float -> unit
+
+val job_deduped : t -> unit
+(** A graph submission was answered by an already-declared node. *)
+
+val group_wall : t -> group:string -> wall:float -> unit
+(** Record one job's wall time under its experiment group; the per-group
+    maxima sum to {!snapshot.fork_join_estimate_s}. *)
+
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 val corrupt_evicted : t -> unit
@@ -58,7 +74,12 @@ val snapshot : t -> snapshot
 val render_line : t -> string
 (** e.g. ["jobs 12/16 (3 running) | cache 5 hit 11 miss | 8.2s"]. *)
 
-val json_summary : t -> string
+val json_summary : ?extra:(string * string) list -> t -> string
 (** One JSON object: [{"jobs": {...}, "cache": {...}, "wall_s": {...},
-    "workers": {...}}]. Utilization is summed job wall time over
-    [workers * wall_total], clamped to [0, 1]. *)
+    "workers": {...}, "graph": {...}}]. Utilization is summed job wall
+    time over [workers * wall_total], clamped to [0, 1]. The ["graph"]
+    section reports in-flight dedup, peak concurrency and the barriered
+    fork-join estimate next to the barrier-free ["wall_s".total]. Each
+    [extra] pair [(name, json)] is appended verbatim as a top-level
+    field — the hook callers use to attach sections this library cannot
+    see (e.g. the spec-unit stripe counters, which live above it). *)

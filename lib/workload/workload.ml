@@ -26,7 +26,17 @@ let zipf_counts ~rng ~skew ~blocks ~total =
     ranks;
   counts
 
-let generate ?(seed = 42) model =
+(* [generate] is pure in (seed, model) and [t] is immutable, so repeat
+   generations — every sweep point of a suite re-runs it — can share one
+   instance. Keyed like the arenas: (seed, model name) plus a physical
+   model check, so a custom model reusing a stock name misses instead of
+   aliasing. Physical sharing also concentrates the phys-keyed caches
+   downstream (profile memo, compiled kernels) onto single entries. *)
+let gen_cache : (int * string, Spec_model.t * t) Hashtbl.t = Hashtbl.create 32
+let gen_mutex = Mutex.create ()
+let gen_cache_cap = 256
+
+let generate_fresh ~seed model =
   let rng = Vp_util.Rng.create seed in
   let rng = Vp_util.Rng.split_named rng model.Spec_model.name in
   let shapes = ref [] in
@@ -57,6 +67,20 @@ let generate ?(seed = 42) model =
     program = Vp_ir.Program.create ~name:model.name weighted;
     shapes = Array.of_list (List.rev !shapes);
   }
+
+let generate ?(seed = 42) model =
+  let key = (seed, model.Spec_model.name) in
+  match
+    Mutex.protect gen_mutex (fun () -> Hashtbl.find_opt gen_cache key)
+  with
+  | Some (m, w) when m == model -> w
+  | Some _ | None ->
+      let w = generate_fresh ~seed model in
+      Mutex.protect gen_mutex (fun () ->
+          if Hashtbl.length gen_cache >= gen_cache_cap then
+            Hashtbl.reset gen_cache;
+          Hashtbl.replace gen_cache key (model, w));
+      w
 
 let model t = t.model
 let seed t = t.seed

@@ -15,7 +15,10 @@
 type t
 
 val generate : ?seed:int -> Spec_model.t -> t
-(** Default [seed] 42. *)
+(** Default [seed] 42. Memoized: [t] is immutable and pure in
+    [(seed, model)], so repeat generations — one per sweep point in a
+    suite — return one shared instance (keyed by [(seed, name)] with a
+    physical model check, like the arenas). *)
 
 val model : t -> Spec_model.t
 

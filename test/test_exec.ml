@@ -21,6 +21,14 @@ let small_config =
 
 let small_models = [ Vp_workload.Spec_model.compress; Vp_workload.Spec_model.li ]
 
+(* Worker count for the "parallel side" of the determinism tests. CI runs
+   the suite once with VP_TEST_JOBS=1 (pure sequential, both sides on the
+   reference path) and once with VP_TEST_JOBS=4. *)
+let par_jobs =
+  match Option.bind (Sys.getenv_opt "VP_TEST_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 4
+
 let render ~exec () =
   let summaries = Vliw_vp.Experiments.run_all ~config:small_config ~exec small_models in
   Vliw_vp.Experiments.render_table2 summaries
@@ -190,11 +198,95 @@ let test_cli_context_unusable_cache_dir () =
       in
       checkb "store disabled" true (Option.is_none ctx.Vp_exec.Context.store))
 
+(* --- Graph --- *)
+
+module G = Vp_exec.Graph
+
+let test_graph_cycle_detection () =
+  (* An edge that closes a loop must be rejected at declaration, with the
+     offending key path, instead of deadlocking the drain. *)
+  let g = G.create Vp_exec.Context.sequential in
+  let a = G.node g ~cache:false ~key:"cyc-a" (fun _ -> 1) in
+  let b =
+    G.node g ~cache:false ~key:"cyc-b" ~deps:[ G.pack a ] (fun _ -> 2)
+  in
+  let c =
+    G.node g ~cache:false ~key:"cyc-c" ~deps:[ G.pack b ] (fun _ -> 3)
+  in
+  (match G.add_dep g (G.pack a) ~on:(G.pack c) with
+  | () -> Alcotest.fail "expected Cycle"
+  | exception G.Cycle path ->
+      checkb "path names the closing key" true (List.mem "cyc-c" path));
+  (* The graph is untouched by the rejected edge and still drains. *)
+  checki "graph still runs" 3 (G.await g c)
+
+let test_graph_diamond_dedup () =
+  (* Two reducers each declare the same shared leaf key: the second
+     declaration must reuse the first node, so the payload runs once and
+     the dedup is visible in telemetry. *)
+  let progress = Vp_exec.Progress.silent () in
+  let exec = Vp_exec.Context.create ~jobs:par_jobs ~progress () in
+  let g = G.create exec in
+  let runs = Atomic.make 0 in
+  let shared () =
+    G.node g ~cache:false ~key:"diamond-shared" (fun _ ->
+        Atomic.incr runs;
+        21)
+  in
+  let left = shared () in
+  let right = shared () in
+  let top =
+    G.node g ~cache:false ~key:"diamond-top"
+      ~deps:[ G.pack left; G.pack right ]
+      (fun _ -> G.value left + G.value right)
+  in
+  checki "shared node computed once" 42 (G.await g top);
+  checki "payload ran once" 1 (Atomic.get runs);
+  checki "size counts distinct keys" 2 (G.size g);
+  let snap = Vp_exec.Progress.snapshot progress in
+  checki "dedup reported" 1 snap.deduped
+
+let test_graph_failure_poisons_dependents_only () =
+  let g = G.create (Vp_exec.Context.create ~jobs:2 ()) in
+  let bad = G.node g ~cache:false ~key:"poison-src" (fun _ -> failwith "kaboom") in
+  let dependent =
+    G.node g ~cache:false ~key:"poison-dep" ~deps:[ G.pack bad ] (fun _ ->
+        Alcotest.fail "poisoned payload must not run")
+  in
+  let bystander = G.node g ~cache:false ~key:"poison-free" (fun _ -> 7) in
+  checki "independent node unaffected" 7 (G.await g bystander);
+  (match G.await g dependent with
+  | _ -> Alcotest.fail "expected Job_failed for poisoned dependent"
+  | exception Vp_exec.Context.Job_failed { key; _ } ->
+      checks "poisoned key" "poison-dep" key);
+  match G.await g bad with
+  | _ -> Alcotest.fail "expected Job_failed for the failing node"
+  | exception Vp_exec.Context.Job_failed { message; _ } ->
+      checkb "diagnostic mentions the exception" true
+        (contains ~sub:"kaboom" message)
+
+let test_graph_suite_parallel_determinism () =
+  (* The full suite path: several experiments declared on one shared
+     graph, drained barrier-free. jobs=1 (declaration-order drain) is the
+     reference; jobs=4 must render byte-identically. *)
+  let render ~exec =
+    let module S = Vliw_vp.Experiments.Suite in
+    let g = G.create exec in
+    let summaries_n = S.run_all g ~config:small_config small_models in
+    let table4_n = S.table4 g ~config:small_config small_models in
+    Vliw_vp.Experiments.render_table2 (G.await g summaries_n)
+    ^ Vliw_vp.Experiments.render_table4 (G.await g table4_n)
+  in
+  let seq = render ~exec:Vp_exec.Context.sequential in
+  let par = render ~exec:(Vp_exec.Context.create ~jobs:par_jobs ()) in
+  checkb "non-empty render" true (String.length seq > 0);
+  checks "suite graph jobs=1 = jobs=4" seq par
+
 (* --- Experiment wiring --- *)
 
 let test_experiments_parallel_determinism () =
   let seq = render ~exec:Vp_exec.Context.sequential () in
-  let par = render ~exec:(Vp_exec.Context.create ~jobs:4 ()) () in
+  let par = render ~exec:(Vp_exec.Context.create ~jobs:par_jobs ()) () in
   checks "jobs=1 = jobs=4" seq par
 
 let test_hardware_validation_parallel_determinism () =
@@ -206,7 +298,7 @@ let test_hardware_validation_parallel_determinism () =
          ~executions:400 small_models)
   in
   let seq = table ~exec:Vp_exec.Context.sequential in
-  let par = table ~exec:(Vp_exec.Context.create ~jobs:4 ()) in
+  let par = table ~exec:(Vp_exec.Context.create ~jobs:par_jobs ()) in
   checkb "non-empty table" true (String.length seq > 0);
   checks "hardware table jobs=1 = jobs=4" seq par
 
@@ -278,6 +370,14 @@ let () =
           tc "rejects stale version" test_store_rejects_stale_version;
           tc "spec-unit version bump evicts" test_spec_unit_version_bump_evicts;
           tc "unusable cache dir downgrades" test_cli_context_unusable_cache_dir;
+        ] );
+      ( "graph",
+        [
+          tc "cycle detection" test_graph_cycle_detection;
+          tc "diamond dedup" test_graph_diamond_dedup;
+          tc "failure poisons dependents only"
+            test_graph_failure_poisons_dependents_only;
+          tc "suite parallel determinism" test_graph_suite_parallel_determinism;
         ] );
       ( "experiments",
         [
