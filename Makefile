@@ -1,6 +1,6 @@
 # Convenience wrapper around dune. `make check` is what CI runs.
 
-.PHONY: all build test check fmt bench bench-smoke clean
+.PHONY: all build test check fmt bench bench-smoke serve-smoke clean
 
 all: build
 
@@ -27,7 +27,8 @@ check: build test
 # full budget, written to BENCH.smoke.json and checked against the
 # committed BENCH.json (kernel:* fails on a >25% regression; the
 # sweep-level targets — table4, ablation:threshold, sweep:ablation-warm,
-# hardware-validation, sweep:suite-graph — on a >40% one).
+# hardware-validation, sweep:suite-graph, serve:warm-submit,
+# serve:overlap-dedup — on a >40% one).
 bench:
 	dune exec bench/main.exe -- --json BENCH.json
 
@@ -35,6 +36,25 @@ bench-smoke:
 	dune exec bench/main.exe -- --smoke --json BENCH.smoke.json
 	dune exec bench/check.exe -- BENCH.json BENCH.smoke.json
 
+# End-to-end smoke of the serve daemon: capture a direct `vliw_vp all`
+# run, start the daemon over the same (now warm) cache, and drive it with
+# the load generator — which asserts every client's stream is
+# byte-identical to the direct capture, a repeat wave executes zero new
+# jobs, and a burst past the client quota is rejected with structured
+# errors. The daemon's final telemetry lands in serve-telemetry.json.
+serve-smoke: build
+	rm -rf _serve_ci && mkdir -p _serve_ci
+	./_build/default/bin/vliw_vp.exe all --jobs 4 --cache-dir _serve_ci/cache \
+	  > _serve_ci/expected.txt
+	@( ./_build/default/bin/vliw_vp.exe serve --socket _serve_ci/d.sock \
+	     --jobs 4 --client-quota 4 --cache-dir _serve_ci/cache \
+	     --stats-file _serve_ci/stats.json & \
+	   trap 'kill $$! 2>/dev/null' EXIT; \
+	   for i in $$(seq 1 100); do [ -S _serve_ci/d.sock ] && break; sleep 0.1; done; \
+	   ./_build/default/bench/serve_load.exe --socket _serve_ci/d.sock --smoke \
+	     --expect _serve_ci/expected.txt --telemetry-out serve-telemetry.json \
+	     --shutdown && wait $$! )
+
 clean:
 	dune clean
-	rm -rf _cache
+	rm -rf _cache _serve_ci

@@ -12,11 +12,13 @@
    - the [kernel:*] targets — microsecond-scale, low-noise, gated at a
      tight threshold (default 25%);
    - the sweep-level targets ([table4], [ablation:threshold],
-     [sweep:ablation-warm], [hardware-validation], [sweep:suite-graph]) —
-     millisecond-scale end-to-end experiment runs whose run-to-run noise
-     (allocator state, spec-unit cache warmth) is larger, gated at a loose
-     threshold (default 40%) that still catches an accidental
-     suite-executor or cache regression.
+     [sweep:ablation-warm], [hardware-validation], [sweep:suite-graph],
+     [serve:warm-submit], [serve:overlap-dedup]) — millisecond-scale
+     end-to-end experiment runs (the serve pair: daemon round-trips over a
+     Unix socket) whose run-to-run noise (allocator state, spec-unit cache
+     warmth, scheduler jitter) is larger, gated at a loose threshold
+     (default 40%) that still catches an accidental suite-executor, cache
+     or serving-envelope regression.
 
    The remaining experiment-level targets are reported for information
    only.
@@ -103,6 +105,8 @@ let sweep_gated =
     "sweep:ablation-warm";
     "hardware-validation";
     "sweep:suite-graph";
+    "serve:warm-submit";
+    "serve:overlap-dedup";
   ]
 
 let is_sweep name =

@@ -170,6 +170,59 @@ let kernel_compiled =
 
 let kernel_arena = Vp_engine.Compiled.Arena.create ()
 
+(* --- serve daemon targets ---
+
+   A real in-process daemon over a temp Unix socket, talked to through the
+   public client — the timed body pays the full production path: frame
+   encode, select-loop wakeup, request validation, graph declaration, the
+   dedup hit onto the already-finished render node, and the streamed
+   response frames. Started lazily (the startup submit pays the one cold
+   simulation so no timed sample does) and shut down after Bechamel.
+   Bechamel stabilizes the heap (repeated Gc.compact until live words
+   settle) before *every* test regardless of cfg, which only converges
+   because the idle daemon is quiescent — it blocks in select without
+   allocating. Belt and braces, the serve targets still run in their own
+   non-stabilizing pass after every other target, so no in-flight frame
+   can race a mid-sample stabilization. *)
+let serve_state =
+  lazy
+    (let sock =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "vliw-vp-bench-%d.sock" (Unix.getpid ()))
+     in
+     let ready = Atomic.make false in
+     let cfg =
+       {
+         (Vp_serve.Server.default_config ~socket:sock ()) with
+         Vp_serve.Server.default_timeout_s = 0.0;
+       }
+     in
+     let srv =
+       Domain.spawn (fun () ->
+           Vp_serve.Server.run
+             ~on_ready:(fun () -> Atomic.set ready true)
+             ~exec:exec_context cfg)
+     in
+     while not (Atomic.get ready) do
+       Domain.cpu_relax ()
+     done;
+     let client = Vp_serve.Client.connect sock in
+     ignore
+       (Vp_serve.Client.submit client
+          (Vp_serve.Client.submit_spec ~experiments:[ "table2" ] ()));
+     (client, srv))
+
+let serve_client () = fst (Lazy.force serve_state)
+
+let shutdown_serve () =
+  if Lazy.is_val serve_state then begin
+    let client, srv = Lazy.force serve_state in
+    Vp_serve.Client.shutdown client;
+    Vp_serve.Client.close client;
+    ignore (Domain.join srv)
+  end
+
 let tests =
   let open Bechamel in
   [
@@ -231,6 +284,25 @@ let tests =
          (let models = Vp_workload.Spec_model.all in
           fun () ->
             Vliw_vp.Experiments.run_all ~config:bench_config models));
+    (* One warm submit round-trip through the daemon: request frame in,
+       dedup hit on the finished render node, result + done frames out. *)
+    Test.make ~name:"serve:warm-submit"
+      (Staged.stage (fun () ->
+           Vp_serve.Client.submit (serve_client ())
+             (Vp_serve.Client.submit_spec ~experiments:[ "table2" ] ())));
+    (* Eight overlapping submits of the same artifact pipelined on one
+       connection — the in-flight-dedup path under concurrent load; the
+       payload still runs zero times (warm), so this prices the admission,
+       routing and streaming envelope alone. *)
+    Test.make ~name:"serve:overlap-dedup"
+      (Staged.stage (fun () ->
+           let client = serve_client () in
+           let ids =
+             List.init 8 (fun _ ->
+                 Vp_serve.Client.submit_async client
+                   (Vp_serve.Client.submit_spec ~experiments:[ "table2" ] ()))
+           in
+           List.iter (fun id -> ignore (Vp_serve.Client.await client ~id)) ids));
     (* Core kernels. *)
     Test.make ~name:"kernel:list-schedule"
       (Staged.stage (fun () ->
@@ -308,6 +380,15 @@ let run_bechamel () =
     Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
   in
   let smoke_cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) () in
+  (* Full quota but no per-sample heap stabilization: a sample's
+     response frames may still be in flight on the daemon domain when
+     the next sample's stabilization would run. (The unconditional
+     per-test stabilization is fine — the daemon is idle-quiescent
+     between tests.) *)
+  let serve_cfg =
+    Benchmark.cfg ~stabilize:false ~limit:300 ~quota:(Time.second 1.0)
+      ~kde:(Some 100) ()
+  in
   (* The gated targets are the CI regression gate (bench/check.ml compares
      them against the committed BENCH.json, which is produced at full
      quota): every kernel:* target at the tight threshold, plus the
@@ -322,12 +403,18 @@ let run_bechamel () =
       "sweep:ablation-warm";
       "hardware-validation";
       "sweep:suite-graph";
+      "serve:warm-submit";
+      "serve:overlap-dedup";
     ]
   in
   let is_gated t =
     let n = Test.name t in
     (String.length n >= 7 && String.sub n 0 7 = "kernel:")
     || List.mem n gated_sweeps
+  in
+  let is_serve t =
+    let n = Test.name t in
+    String.length n >= 6 && String.sub n 0 6 = "serve:"
   in
   let run cfg = function
     | [] -> []
@@ -347,12 +434,22 @@ let run_bechamel () =
             (name, est) :: acc)
           results []
   in
-  let rows =
+  (* Serve targets run last, in their own pass: starting the daemon any
+     earlier would leave its domain allocating through every other
+     target's stabilization. They are gated, so they keep full quota
+     even in smoke mode. *)
+  let serve_tests, tests = List.partition is_serve tests in
+  let main_rows =
     if smoke then
       let gated_tests, other_tests = List.partition is_gated tests in
       run full_cfg gated_tests @ run smoke_cfg other_tests
     else run full_cfg tests
   in
+  let serve_rows =
+    ignore (serve_client ());
+    run serve_cfg serve_tests
+  in
+  let rows = main_rows @ serve_rows in
   section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
   let rows = List.sort compare rows in
   List.iter
@@ -413,6 +510,7 @@ let () =
      heap (and its minor-GC cost) into the baseline but not the
      candidate. *)
   let rows = run_bechamel () in
+  shutdown_serve ();
   Option.iter (fun path -> write_json path rows) json_path;
   if not smoke then begin
     full_run ();

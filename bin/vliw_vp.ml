@@ -622,6 +622,165 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every experiment (tables 2-4, figure 8, comparison, example)")
     (with_setup f)
 
+(* --- serve / submit: the resident daemon and its client --- *)
+
+let socket_t =
+  let doc = "Unix socket path of the daemon." in
+  Arg.(
+    value
+    & opt string "/tmp/vliw_vp.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let port_t =
+    let doc = "Also listen on 127.0.0.1:$(docv) (TCP)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let max_pending_t =
+    let doc = "Server-wide cap on admitted-but-unfinished requests." in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let quota_t =
+    let doc = "Per-connection cap on admitted-but-unfinished requests." in
+    Arg.(value & opt int 16 & info [ "client-quota" ] ~docv:"N" ~doc)
+  in
+  let timeout_t =
+    let doc = "Default per-request timeout in seconds (0 disables)." in
+    Arg.(value & opt float 300.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let stats_file_t =
+    let doc = "Write a JSON telemetry snapshot to $(docv) periodically." in
+    Arg.(
+      value & opt (some string) None & info [ "stats-file" ] ~docv:"FILE" ~doc)
+  in
+  let stats_every_t =
+    let doc = "Snapshot period in seconds for $(b,--stats-file)." in
+    Arg.(value & opt float 10.0 & info [ "stats-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket port max_pending client_quota timeout stats_file stats_every
+      exec_opts =
+    let exec = make_exec exec_opts in
+    let cfg =
+      {
+        Vp_serve.Server.socket_path = socket;
+        tcp_port = port;
+        max_pending;
+        client_quota;
+        default_timeout_s = timeout;
+        max_frame = Vp_serve.Protocol.default_max_frame;
+        stats_file;
+        stats_every_s = stats_every;
+      }
+    in
+    match
+      Vp_serve.Server.run
+        ~on_ready:(fun () ->
+          Printf.eprintf "vliw_vp serve: listening on %s%s\n%!" socket
+            (match port with
+            | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+            | None -> ""))
+        ~exec cfg
+    with
+    | _final_stats -> `Ok ()
+    | exception Failure m -> `Error (false, m)
+    | exception Unix.Unix_error (e, fn, arg) ->
+        `Error
+          ( false,
+            Printf.sprintf "%s: %s %s" (Unix.error_message e) fn arg )
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident simulation daemon: accept submit requests over a \
+          Unix (and optionally TCP) socket, execute them on one shared job \
+          graph with in-flight dedup and a warm cache, stream results back")
+    Term.(
+      ret
+        (const run $ socket_t $ port_t $ max_pending_t $ quota_t $ timeout_t
+       $ stats_file_t $ stats_every_t $ exec_opts_t))
+
+let submit_cmd =
+  let experiments_t =
+    let doc =
+      "Experiments to run: all, table2, table3, table4, fig8, comparison, \
+       regions, overlap, example, hyperblocks, hardware, stability, \
+       recovery, ablate:NAME. Default: all."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let port_t =
+    let doc = "Connect to 127.0.0.1:$(docv) instead of the Unix socket." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let timeout_t =
+    let doc = "Per-request timeout in seconds (overrides the server default)." in
+    Arg.(
+      value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let stats_t =
+    let doc = "Print the daemon's telemetry snapshot instead of submitting." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_t =
+    let doc = "Ask the daemon to drain and exit instead of submitting." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let run socket port experiments names width seed threshold csv timeout
+      stats shutdown =
+    let connect () =
+      match port with
+      | Some p -> Vp_serve.Client.connect_tcp ~host:"127.0.0.1" ~port:p
+      | None -> Vp_serve.Client.connect socket
+    in
+    match connect () with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot connect to %s: %s"
+              (match port with
+              | Some p -> Printf.sprintf "127.0.0.1:%d" p
+              | None -> socket)
+              (Unix.error_message e) )
+    | client -> (
+        Fun.protect
+          ~finally:(fun () -> Vp_serve.Client.close client)
+          (fun () ->
+            if stats then begin
+              print_endline (Vp_serve.Jsonx.to_string (Vp_serve.Client.stats client));
+              `Ok ()
+            end
+            else if shutdown then begin
+              Vp_serve.Client.shutdown client;
+              `Ok ()
+            end
+            else
+              match
+                Vp_serve.Client.submit_spec ~experiments ~benchmarks:names
+                  ~width ~seed ~threshold ~csv ?timeout_s:timeout ()
+              with
+              | exception Invalid_argument m -> `Error (false, m)
+              | spec -> (
+                  let outcome = Vp_serve.Client.submit client spec in
+                  List.iter
+                    (fun (_artifact, data) -> print_string data)
+                    outcome.Vp_serve.Client.results;
+                  match outcome.error with
+                  | None -> `Ok ()
+                  | Some (code, message) ->
+                      `Error
+                        (false, Printf.sprintf "server error %s: %s" code message))))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit experiments to a running daemon and print the streamed \
+          results (byte-identical to the direct command)")
+    Term.(
+      ret
+        (const run $ socket_t $ port_t $ experiments_t $ benchmarks_t
+       $ width_t $ seed_t $ threshold_t $ csv_t $ timeout_t $ stats_t
+       $ shutdown_t))
+
 let main_cmd =
   let doc =
     "Reproduction of 'Value Prediction in VLIW Machines' (Nakra, Gupta, \
@@ -659,15 +818,34 @@ let main_cmd =
       run_cmd;
       simulate_cmd;
       all_cmd;
+      serve_cmd;
+      submit_cmd;
     ]
 
 (* Exit-code hygiene: simulator failures and orchestration failures exit
    non-zero with a one-line diagnostic on stderr rather than dumping a raw
-   backtrace. (Bad CLI flags already exit 124 via cmdliner.) *)
+   backtrace. Command-line errors — an unknown subcommand, a malformed
+   flag — get the same treatment: cmdliner's error output is captured and
+   only its diagnostic line reaches stderr (the multi-line usage dump is
+   for $(b,--help)), and the exit code stays cmdliner's 124. *)
 let () =
   let fail fmt = Printf.kfprintf (fun _ -> exit 2) stderr ("vliw_vp: " ^^ fmt ^^ "\n") in
-  match Cmd.eval ~catch:false main_cmd with
-  | code -> exit code
+  let errbuf = Buffer.create 256 in
+  let errfmt = Format.formatter_of_buffer errbuf in
+  match Cmd.eval ~catch:false ~err:errfmt main_cmd with
+  | code ->
+      Format.pp_print_flush errfmt ();
+      let captured = Buffer.contents errbuf in
+      (if code = Cmd.Exit.cli_error then
+         match
+           List.find_opt
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' captured)
+         with
+         | Some line -> prerr_endline (String.trim line)
+         | None -> prerr_endline "vliw_vp: invalid command line"
+       else if captured <> "" then prerr_string captured);
+      exit code
   | exception Vp_engine.Dual_engine.Deadlock m ->
       fail "simulator deadlock: %s" m
   | exception Vp_engine.Sequence_engine.Deadlock m ->

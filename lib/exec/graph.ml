@@ -33,6 +33,8 @@ type nd = {
   mutable dependents : nd list;
   mutable unmet : int;  (** unfinished dependencies *)
   mutable crit : int;  (** critical-path priority: 1 + longest dependent chain *)
+  mutable waiters : ((Obj.t, string) result -> unit) list;
+      (** completion subscriptions; fired once, outside the graph mutex *)
 }
 
 type 'a node = nd
@@ -110,6 +112,11 @@ type t = {
   mutable pending : int;  (** nodes not yet [Finished] *)
   mutable running_count : int;
   mutable stalled : bool;  (** defensive: drain found no runnable work *)
+  mutable fired : (unit -> unit) list;
+      (** waiter invocations queued under the mutex, run after release *)
+  mutable resident : unit Domain.t array option;
+      (** worker domains of {!start_workers}, while running *)
+  mutable stop : bool;  (** resident workers: exit once nothing is runnable *)
 }
 
 let create ctx =
@@ -123,6 +130,9 @@ let create ctx =
     pending = 0;
     running_count = 0;
     stalled = false;
+    fired = [];
+    resident = None;
+    stop = false;
   }
 
 let context t = t.ctx
@@ -157,12 +167,36 @@ let rec bump_crit t n c =
     List.iter (fun d -> bump_crit t d (c + 1)) n.deps
   end
 
+(* Completion subscriptions fire outside the mutex: finishing a node (in
+   any way — success, failure, poisoning) moves its waiters onto [t.fired]
+   as ready-to-run thunks, and every path that released the mutex flushes
+   the queue. Any thread may flush; each thunk runs exactly once. *)
+let enqueue_waiters t n result =
+  match n.waiters with
+  | [] -> ()
+  | ws ->
+      n.waiters <- [];
+      t.fired <-
+        List.rev_append (List.rev_map (fun w () -> w result) ws) t.fired
+
+let flush_fired t =
+  match Mutex.protect t.mutex (fun () ->
+      match t.fired with
+      | [] -> []
+      | fs ->
+          t.fired <- [];
+          fs)
+  with
+  | [] -> ()
+  | fs -> List.iter (fun f -> f ()) (List.rev fs)
+
 let rec poison t n ~root ~msg =
   match n.status with
   | Pending | Ready ->
-      n.status <-
-        Finished
-          (Error (Printf.sprintf "poisoned: dependency %s failed: %s" root msg));
+      let msg' = Printf.sprintf "poisoned: dependency %s failed: %s" root msg in
+      n.status <- Finished (Error msg');
+      enqueue_waiters t n (Error msg');
+      Condition.broadcast t.cond;
       t.pending <- t.pending - 1;
       (* account the node as a failed job: it was queued and will never
          run, so started/failed keeps the progress ledger balanced *)
@@ -195,6 +229,8 @@ let link t n ~on:d =
 
 let fail_node t n msg =
   n.status <- Finished (Error msg);
+  enqueue_waiters t n (Error msg);
+  Condition.broadcast t.cond;
   t.pending <- t.pending - 1;
   List.iter (fun d -> poison t d ~root:n.key ~msg) n.dependents
 
@@ -202,6 +238,7 @@ let settle t n (outcome : Obj.t Job.outcome) =
   match outcome with
   | Job.Done v ->
       n.status <- Finished (Ok v);
+      enqueue_waiters t n (Ok v);
       t.pending <- t.pending - 1;
       List.iter
         (fun d ->
@@ -228,48 +265,71 @@ let rec pop_ready t =
 (* --- declaration --- *)
 
 let node t ?label ?group ?(cache = true) ~key ?(deps = []) payload =
-  Mutex.protect t.mutex (fun () ->
-      match Hashtbl.find_opt t.by_key key with
-      | Some existing ->
-          Progress.job_deduped t.ctx.Context.progress;
-          List.iter (fun d -> link t existing ~on:d) deps;
-          existing
-      | None ->
-          let label =
-            match label with
-            | Some l -> l
-            | None ->
-                if String.length key <= 24 then key else String.sub key 0 24
-          in
-          let n =
-            {
-              id = t.next_id;
-              key;
-              label;
-              group;
-              cache;
-              payload = (fun ctx -> Obj.repr (payload ctx));
-              status = Pending;
-              deps = [];
-              dependents = [];
-              unmet = 0;
-              crit = 1;
-            }
-          in
-          t.next_id <- t.next_id + 1;
-          t.pending <- t.pending + 1;
-          Hashtbl.add t.by_key key n;
-          Progress.add_queued t.ctx.Context.progress 1;
-          List.iter (fun d -> link t n ~on:d) deps;
-          if n.unmet = 0 then make_ready t n;
-          n)
+  let n =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.by_key key with
+        | Some existing ->
+            Progress.job_deduped t.ctx.Context.progress;
+            List.iter (fun d -> link t existing ~on:d) deps;
+            existing
+        | None ->
+            let label =
+              match label with
+              | Some l -> l
+              | None ->
+                  if String.length key <= 24 then key else String.sub key 0 24
+            in
+            let n =
+              {
+                id = t.next_id;
+                key;
+                label;
+                group;
+                cache;
+                payload = (fun ctx -> Obj.repr (payload ctx));
+                status = Pending;
+                deps = [];
+                dependents = [];
+                unmet = 0;
+                crit = 1;
+                waiters = [];
+              }
+            in
+            t.next_id <- t.next_id + 1;
+            t.pending <- t.pending + 1;
+            Hashtbl.add t.by_key key n;
+            Progress.add_queued t.ctx.Context.progress 1;
+            List.iter (fun d -> link t n ~on:d) deps;
+            if n.unmet = 0 then make_ready t n;
+            n)
+  in
+  (* linking onto an already-failed dependency poisons dependents, which
+     may have subscriptions to fire *)
+  flush_fired t;
+  n
 
 let add_dep t n ~on =
   Mutex.protect t.mutex (fun () ->
       match n.status with
       | Running | Finished _ ->
           invalid_arg "Graph.add_dep: node already running or finished"
-      | Pending | Ready -> link t n ~on)
+      | Pending | Ready -> link t n ~on);
+  flush_fired t
+
+let on_complete t (n : 'a node) (f : ('a, string) result -> unit) =
+  let immediate =
+    Mutex.protect t.mutex (fun () ->
+        match n.status with
+        | Finished (Ok v) -> Some (Ok (Obj.obj v : 'a))
+        | Finished (Error msg) -> Some (Error msg)
+        | Pending | Ready | Running ->
+            n.waiters <-
+              (fun (r : (Obj.t, string) result) ->
+                f (match r with Ok v -> Ok (Obj.obj v) | Error e -> Error e))
+              :: n.waiters;
+            None)
+  in
+  match immediate with None -> () | Some r -> f r
 
 let value (n : 'a node) : 'a =
   match n.status with
@@ -313,6 +373,7 @@ let drain_sequential t =
         Mutex.protect t.mutex (fun () ->
             t.running_count <- t.running_count - 1;
             settle t n outcome);
+        flush_fired t;
         loop ()
     | None -> ()
   in
@@ -351,6 +412,7 @@ let drain_parallel t =
               t.running_count <- t.running_count - 1;
               settle t n outcome;
               Condition.broadcast t.cond);
+          flush_fired t;
           loop ()
     in
     loop ()
@@ -363,6 +425,8 @@ let drain_parallel t =
   Array.iter Domain.join domains
 
 let drain t =
+  if t.resident <> None then
+    invalid_arg "Graph.drain: resident workers are running (await instead)";
   if Mutex.protect t.mutex (fun () -> t.pending > 0) then begin
     let progress = t.ctx.Context.progress in
     Progress.set_workers progress (max 1 t.ctx.Context.jobs);
@@ -372,8 +436,81 @@ let drain t =
       raise (Cycle (stall_keys t))
   end
 
+(* --- resident workers (the daemon's drain) --- *)
+
+(* Like one [drain_parallel] worker, but it does not exit when the heap
+   runs dry: it waits for new declarations, until [stop_workers] sets the
+   stop flag — and even then finishes everything already runnable, so a
+   graceful shutdown drains in-flight and queued work. Declaration-time
+   cycle rejection means pending-but-unreachable work cannot exist, so
+   there is no stall detection here. *)
+let resident_worker t () =
+  let rec loop () =
+    let action =
+      Mutex.protect t.mutex (fun () ->
+          let rec get () =
+            match pop_ready t with
+            | Some n -> `Run n
+            | None ->
+                if t.stop && t.running_count = 0 then `Stop
+                else begin
+                  Condition.wait t.cond t.mutex;
+                  get ()
+                end
+          in
+          get ())
+    in
+    match action with
+    | `Stop -> ()
+    | `Run n ->
+        let outcome = execute_node t n in
+        Mutex.protect t.mutex (fun () ->
+            t.running_count <- t.running_count - 1;
+            settle t n outcome;
+            Condition.broadcast t.cond);
+        flush_fired t;
+        loop ()
+  in
+  loop ()
+
+let start_workers t =
+  match t.resident with
+  | Some _ -> invalid_arg "Graph.start_workers: workers already running"
+  | None ->
+      let jobs = max 1 t.ctx.Context.jobs in
+      t.stop <- false;
+      Progress.set_workers t.ctx.Context.progress jobs;
+      t.resident <-
+        Some (Array.init jobs (fun _ -> Domain.spawn (resident_worker t)))
+
+let stop_workers t =
+  match t.resident with
+  | None -> ()
+  | Some domains ->
+      Mutex.protect t.mutex (fun () ->
+          t.stop <- true;
+          Condition.broadcast t.cond);
+      Array.iter Domain.join domains;
+      t.resident <- None;
+      Progress.finish t.ctx.Context.progress;
+      flush_fired t
+
 let await t (n : 'a node) : 'a =
-  (match n.status with Finished _ -> () | Pending | Ready | Running -> drain t);
+  (match n.status with
+  | Finished _ -> ()
+  | Pending | Ready | Running ->
+      if t.resident <> None then
+        (* resident workers own the execution; just wait for the node *)
+        Mutex.protect t.mutex (fun () ->
+            let unfinished () =
+              match n.status with
+              | Finished _ -> false
+              | Pending | Ready | Running -> true
+            in
+            while unfinished () do
+              Condition.wait t.cond t.mutex
+            done)
+      else drain t);
   match n.status with
   | Finished (Ok v) -> Obj.obj v
   | Finished (Error message) ->

@@ -94,13 +94,46 @@ val await : t -> 'a node -> 'a
 (** The node's result, draining the {e whole} graph first if it has not
     finished — every declared node runs, not just the awaited subtree, so
     a sequence of [await]s over one graph executes barrier-free: later
-    experiments' nodes interleave with the first await's drain. Raises
-    {!Context.Job_failed} if the node failed, timed out or was poisoned. *)
+    experiments' nodes interleave with the first await's drain. With
+    {!start_workers} active, [await] instead blocks until the resident
+    workers finish the node. Raises {!Context.Job_failed} if the node
+    failed, timed out or was poisoned. *)
 
 val drain : t -> unit
 (** Run every unfinished node; referenced results stay readable through
     {!value}. Raises {!Cycle} if the drain stalls with unfinished nodes —
-    defensive, {!node}/{!add_dep} already reject cyclic edges. *)
+    defensive, {!node}/{!add_dep} already reject cyclic edges. Raises
+    [Invalid_argument] while resident workers ({!start_workers}) run. *)
+
+val on_complete : t -> 'a node -> (('a, string) result -> unit) -> unit
+(** Subscribe to the node's completion: the callback fires exactly once
+    with [Ok value] or [Error diagnostic] (failure, timeout or poisoning),
+    immediately if the node has already finished. Callbacks run outside
+    the graph mutex but {e on whichever thread finishes the node} — a
+    worker domain, or the declaring thread when declaration itself settles
+    the node (dedup onto a finished node, poisoning by a failed
+    dependency). They must be fast, must not raise and must not call back
+    into the graph; hand the result off to your own queue. This is how the
+    serve daemon streams results: one subscription per request artifact,
+    each callback enqueueing a response frame. *)
+
+(** {1 Resident workers}
+
+    The daemon-mode drain: instead of draining the declared nodes and
+    returning, {!start_workers} keeps [jobs] worker domains alive that
+    execute ready nodes {e as they are declared}, indefinitely. Clients
+    (the serve loop) declare nodes and subscribe with {!on_complete};
+    overlapping declarations dedup in flight exactly as in batch mode.
+    {!stop_workers} initiates a graceful shutdown: workers finish
+    everything already runnable (in-flight {e and} queued), then exit. *)
+
+val start_workers : t -> unit
+(** Spawn the context's [jobs] resident worker domains (at least one).
+    Raises [Invalid_argument] if they are already running. *)
+
+val stop_workers : t -> unit
+(** Signal the resident workers to finish all runnable work and exit, and
+    join them. No-op when none are running. *)
 
 val size : t -> int
 (** Nodes declared (dedup hits not counted). *)

@@ -45,11 +45,17 @@ let version t = t.version
 let entry_path t ~key =
   Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".bin")
 
+(* Returns the file's bytes together with its inode: eviction uses the
+   inode to recognize an entry that was atomically renewed (by a
+   concurrent [put]) after we read the corrupt bytes, so it never unlinks
+   a fresh entry on the strength of a stale read. *)
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    (fun () ->
+      let ino = (Unix.fstat (Unix.descr_of_in_channel ic)).Unix.st_ino in
+      (really_input_string ic (in_channel_length ic), ino))
 
 (* [line_after s pos] returns [(line, pos_after_newline)]. *)
 let line_after s pos =
@@ -72,16 +78,43 @@ let decode t ~key raw =
     Marshal.from_string payload 0
   with _ -> raise Corrupt
 
+let evict_seq = Atomic.make 0
+
+(* Evict a corrupt entry {e exactly once} under concurrent readers and
+   writers. Unlinking the path directly has two races: two readers that
+   both saw the corrupt bytes would both count an eviction, and the slower
+   one could unlink an entry a concurrent [put] had just renewed under the
+   same name. Renaming the entry aside first fixes both: only one of any
+   number of racing evictors wins the rename (losers get [ENOENT] and
+   report a plain miss), and the inode check detects a renewed entry — we
+   read corrupt bytes from one inode, but the path now holds another — and
+   puts it back instead of deleting it. *)
+let evict path ~ino =
+  let tomb =
+    Printf.sprintf "%s.evict.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add evict_seq 1)
+  in
+  match Unix.rename path tomb with
+  | exception Unix.Unix_error (_, _, _) -> false  (* someone else evicted *)
+  | () -> (
+      match (Unix.stat tomb).Unix.st_ino = ino with
+      | true | (exception Unix.Unix_error (_, _, _)) ->
+          (try Sys.remove tomb with Sys_error _ -> ());
+          true
+      | false ->
+          (* a concurrent [put] renewed the entry between our read and the
+             rename: restore it rather than evict fresh data *)
+          (try Unix.rename tomb path with Unix.Unix_error (_, _, _) -> ());
+          false)
+
 let find t ~key =
   let path = entry_path t ~key in
   match read_file path with
-  | exception Sys_error _ -> Miss
-  | raw -> (
+  | exception Sys_error _ | (exception Unix.Unix_error (_, _, _)) -> Miss
+  | raw, ino -> (
       match decode t ~key raw with
       | v -> Hit v
-      | exception Corrupt ->
-          (try Sys.remove path with Sys_error _ -> ());
-          Evicted)
+      | exception Corrupt -> if evict path ~ino then Evicted else Miss)
 
 let put t ~key v =
   match Marshal.to_string v [ Marshal.Closures ] with

@@ -21,7 +21,11 @@
       incompatible data;
     - {b corruption recovery} — any unreadable entry (truncated file, bad
       magic, stale version, digest mismatch, undeserializable payload) is
-      evicted and reported as {!Evicted}; it is never fatal.
+      evicted and reported as {!Evicted}; it is never fatal. Eviction is
+      rename-based, so racing readers of one corrupt entry evict it
+      {e exactly once} (the losers report {!Miss}), and an entry that a
+      concurrent [put] renewed after the corrupt read was taken is
+      restored, not deleted.
 
     Type safety is the caller's contract: the store persists whatever was
     [put] under a key, and [find] returns it at whatever type the caller

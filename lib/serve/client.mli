@@ -1,0 +1,63 @@
+(** Blocking client for the serve protocol, used by [vliw_vp submit], the
+    load generator and the tests.
+
+    One connection pipelines freely: {!submit_async} registers a request
+    and returns immediately; {!await} reads frames — routing events for
+    other in-flight requests to their own state — until the given request
+    settles. Hundreds of requests can be in flight on one socket. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a Unix socket path. *)
+
+val connect_tcp : host:string -> port:int -> t
+
+val close : t -> unit
+
+type outcome = {
+  results : (string * string) list;
+      (** [(artifact, data)] in {e request} order — concatenating the data
+          fields of an ["all"] submit reproduces [vliw_vp all] byte for
+          byte. *)
+  error : (string * string) option;  (** [(code, message)]; results may
+          still hold the artifacts that finished before the error. *)
+  wall_s : float;  (** server-reported wall time (successful requests) *)
+  queue_depth : int;  (** server queue depth at admission *)
+}
+
+val submit_spec :
+  ?id:string ->
+  ?experiments:string list ->
+  ?benchmarks:string list ->
+  ?width:int ->
+  ?seed:int ->
+  ?threshold:float ->
+  ?csv:bool ->
+  ?timeout_s:float ->
+  unit ->
+  Protocol.submit
+(** A submit request with CLI-equivalent defaults (width 4, seed 42,
+    threshold 0.65, all experiments, all benchmarks). Expands and
+    validates [experiments]; raises [Invalid_argument] on an unknown
+    name. An empty [id] is auto-assigned at submit time. *)
+
+val submit : t -> Protocol.submit -> outcome
+(** Submit and block until [done]/[error]. *)
+
+val submit_async : t -> Protocol.submit -> string
+(** Send the request, return its id (auto-assigned if the spec's was
+    empty). Pair with {!await}. *)
+
+val await : t -> id:string -> outcome
+(** Block until the given in-flight request settles. Raises
+    [Invalid_argument] for an id not returned by {!submit_async} (or
+    already awaited), [Failure] if the server closes the connection. *)
+
+val stats : t -> Jsonx.t
+(** The server's telemetry snapshot. *)
+
+val ping : t -> unit
+
+val shutdown : t -> unit
+(** Ask the server to drain and exit; returns once acknowledged. *)

@@ -1,0 +1,282 @@
+(* Wire protocol: length-prefixed JSON frames. See DESIGN.md ("Serve wire
+   protocol") for the full schema reference; this module is the one
+   implementation both sides share. *)
+
+(* --- framing --- *)
+
+let default_max_frame = 4 * 1024 * 1024
+
+let frame payload =
+  Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let write_frame fd payload =
+  let data = frame payload in
+  let len = String.length data in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd data off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(* Blocking frame read (client side). [None] on clean EOF at a frame
+   boundary. *)
+let read_frame ?(max_frame = default_max_frame) fd =
+  let byte = Bytes.create 1 in
+  let rec read_len acc first =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if first then None else failwith "serve: truncated frame header"
+    | _ -> (
+        match Bytes.get byte 0 with
+        | '\n' -> Some acc
+        | '0' .. '9' as c ->
+            let acc = (acc * 10) + (Char.code c - Char.code '0') in
+            if acc > max_frame then failwith "serve: frame too large"
+            else read_len acc false
+        | c -> failwith (Printf.sprintf "serve: bad frame header byte %C" c))
+  in
+  match read_len 0 true with
+  | None -> None
+  | Some len ->
+      let buf = Bytes.create len in
+      let rec fill off =
+        if off < len then
+          match Unix.read fd buf off (len - off) with
+          | 0 -> failwith "serve: truncated frame payload"
+          | n -> fill (off + n)
+      in
+      fill 0;
+      Some (Bytes.to_string buf)
+
+(* Incremental decoder (server side, non-blocking sockets). *)
+module Decoder = struct
+  type t = {
+    max_frame : int;
+    buf : Buffer.t;
+    mutable expect : int option;  (* payload length once the header parsed *)
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Buffer.create 1024; expect = None }
+
+  let feed t bytes n = Buffer.add_subbytes t.buf bytes 0 n
+
+  (* [next t] is [Ok (Some payload)] when a whole frame is buffered,
+     [Ok None] when more bytes are needed, [Error msg] on a malformed
+     header or an oversized frame (the connection should be dropped). *)
+  let next t =
+    let contents = Buffer.contents t.buf in
+    let parse_header () =
+      match String.index_opt contents '\n' with
+      | None ->
+          if String.length contents > 20 then
+            Error "frame header too long (missing newline)"
+          else Ok None
+      | Some nl -> (
+          let raw = String.sub contents 0 nl in
+          match int_of_string_opt raw with
+          | Some len when len >= 0 ->
+              if len > t.max_frame then
+                Error (Printf.sprintf "frame of %d bytes exceeds limit" len)
+              else begin
+                t.expect <- Some len;
+                Buffer.clear t.buf;
+                Buffer.add_string t.buf
+                  (String.sub contents (nl + 1)
+                     (String.length contents - nl - 1));
+                Ok (Some ())
+              end
+          | _ -> Error (Printf.sprintf "bad frame length %S" raw))
+    in
+    let rec go () =
+      match t.expect with
+      | None -> (
+          match parse_header () with
+          | Error e -> Error e
+          | Ok None -> Ok None
+          | Ok (Some ()) -> go ())
+      | Some len ->
+          if Buffer.length t.buf < len then Ok None
+          else begin
+            let contents = Buffer.contents t.buf in
+            let payload = String.sub contents 0 len in
+            Buffer.clear t.buf;
+            Buffer.add_string t.buf
+              (String.sub contents len (String.length contents - len));
+            t.expect <- None;
+            Ok (Some payload)
+          end
+    in
+    go ()
+end
+
+(* --- experiment registry --- *)
+
+(* The names a submit request may ask for. "all" expands to the exact
+   artifact sequence `vliw_vp all` prints, so a submit of ["all"] can be
+   reassembled byte-identically to the direct CLI run. *)
+let all_sequence =
+  [ "table2"; "table3"; "table4"; "fig8"; "comparison"; "regions"; "overlap";
+    "example" ]
+
+let known_experiments =
+  all_sequence
+  @ [ "hyperblocks"; "hardware"; "stability"; "recovery" ]
+  @ List.map
+      (fun s -> "ablate:" ^ s)
+      [ "threshold"; "predictions"; "ccb"; "syncbits"; "ccewidth";
+        "predictors"; "accounting" ]
+
+let expand_experiments names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "all" :: rest -> go (List.rev_append all_sequence acc) rest
+    | name :: rest ->
+        if List.mem name known_experiments then go (name :: acc) rest
+        else Error name
+  in
+  match names with [] -> go [] [ "all" ] | names -> go [] names
+
+(* --- requests --- *)
+
+type submit = {
+  id : string;
+  experiments : string list;  (* expanded, validated, request order *)
+  benchmarks : string list;  (* validated names; [] = the full set *)
+  width : int;
+  seed : int;
+  threshold : float;
+  csv : bool;
+  timeout_s : float option;  (* None = the server default *)
+}
+
+type request =
+  | Submit of submit
+  | Stats of string
+  | Ping of string
+  | Shutdown of string
+
+(* Structured rejection: [code] is machine-readable (DESIGN.md lists the
+   vocabulary), [message] human-readable. *)
+type reject = { code : string; message : string }
+
+let reject code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+let request_of_json json =
+  let id = Option.value ~default:"" (Jsonx.string_member "id" json) in
+  match Jsonx.string_member "op" json with
+  | None -> Error (id, reject "bad_request" "missing \"op\" field")
+  | Some "stats" -> Ok (Stats id)
+  | Some "ping" -> Ok (Ping id)
+  | Some "shutdown" -> Ok (Shutdown id)
+  | Some "submit" -> (
+      let names =
+        match Jsonx.list_member "experiments" json with
+        | None -> Ok []
+        | Some xs ->
+            List.fold_left
+              (fun acc x ->
+                match (acc, Jsonx.get_string x) with
+                | Ok acc, Some s -> Ok (s :: acc)
+                | (Error _ as e), _ -> e
+                | Ok _, None ->
+                    Error
+                      (reject "bad_request" "experiments must be strings"))
+              (Ok []) xs
+            |> Result.map List.rev
+      in
+      let benchmarks =
+        match Jsonx.list_member "benchmarks" json with
+        | None -> Ok []
+        | Some xs ->
+            List.fold_left
+              (fun acc x ->
+                match (acc, Jsonx.get_string x) with
+                | Ok acc, Some s -> Ok (s :: acc)
+                | (Error _ as e), _ -> e
+                | Ok _, None ->
+                    Error (reject "bad_request" "benchmarks must be strings"))
+              (Ok []) xs
+            |> Result.map List.rev
+      in
+      match (names, benchmarks) with
+      | Error r, _ | _, Error r -> Error (id, r)
+      | Ok names, Ok benchmarks -> (
+          match expand_experiments names with
+          | Error name ->
+              Error (id, reject "unknown_experiment" "unknown experiment %S" name)
+          | Ok experiments ->
+              let config = Option.value ~default:(Jsonx.Obj []) (Jsonx.member "config" json) in
+              let width = Option.value ~default:4 (Jsonx.int_member "width" config) in
+              let seed = Option.value ~default:42 (Jsonx.int_member "seed" config) in
+              let threshold =
+                Option.value ~default:0.65 (Jsonx.float_member "threshold" config)
+              in
+              let csv =
+                match Jsonx.string_member "format" json with
+                | Some "csv" -> true
+                | _ -> false
+              in
+              let timeout_s = Jsonx.float_member "timeout_s" json in
+              if width < 1 || width > 64 then
+                Error (id, reject "bad_request" "width out of range: %d" width)
+              else if not (threshold >= 0.0 && threshold <= 1.0) then
+                Error
+                  (id, reject "bad_request" "threshold out of range: %g" threshold)
+              else
+                Ok
+                  (Submit
+                     {
+                       id;
+                       experiments;
+                       benchmarks;
+                       width;
+                       seed;
+                       threshold;
+                       csv;
+                       timeout_s;
+                     })))
+  | Some op -> Error (id, reject "bad_request" "unknown op %S" op)
+
+let json_of_submit (s : submit) =
+  Jsonx.Obj
+    ([
+       ("op", Jsonx.Str "submit");
+       ("id", Jsonx.Str s.id);
+       ("experiments", Jsonx.List (List.map (fun e -> Jsonx.Str e) s.experiments));
+       ("benchmarks", Jsonx.List (List.map (fun b -> Jsonx.Str b) s.benchmarks));
+       ( "config",
+         Jsonx.Obj
+           [
+             ("width", Jsonx.Int s.width);
+             ("seed", Jsonx.Int s.seed);
+             ("threshold", Jsonx.Float s.threshold);
+           ] );
+       ("format", Jsonx.Str (if s.csv then "csv" else "ascii"));
+     ]
+    @
+    match s.timeout_s with
+    | None -> []
+    | Some t -> [ ("timeout_s", Jsonx.Float t) ])
+
+(* --- response frames --- *)
+
+let event ~id ~event fields =
+  Jsonx.Obj ((("id", Jsonx.Str id) :: ("event", Jsonx.Str event) :: fields))
+
+let accepted ~id ~artifacts ~queue_depth =
+  event ~id ~event:"accepted"
+    [
+      ("artifacts", Jsonx.List (List.map (fun a -> Jsonx.Str a) artifacts));
+      ("queue_depth", Jsonx.Int queue_depth);
+    ]
+
+let result ~id ~artifact ~data =
+  event ~id ~event:"result"
+    [ ("artifact", Jsonx.Str artifact); ("data", Jsonx.Str data) ]
+
+let done_ ~id ~wall_s = event ~id ~event:"done" [ ("wall_s", Jsonx.Float wall_s) ]
+
+let error ~id (r : reject) =
+  event ~id ~event:"error"
+    [ ("code", Jsonx.Str r.code); ("message", Jsonx.Str r.message) ]

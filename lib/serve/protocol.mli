@@ -1,0 +1,101 @@
+(** The serve wire protocol, shared by daemon and clients.
+
+    {b Framing.} Each message is one frame: the payload's byte length in
+    ASCII decimal, one ['\n'], then exactly that many payload bytes — a
+    compact JSON object. Length-prefixing (rather than newline-delimited
+    JSON) lets result frames carry multi-kilobyte rendered tables with
+    embedded newlines without any escaping subtleties on the read path,
+    and makes oversized frames rejectable before buffering them.
+
+    {b Requests} (client to server): [submit], [stats], [ping],
+    [shutdown]. {b Responses} (server to client): [accepted], [result]
+    (streamed, one per artifact, in {e completion} order), [done],
+    [error], [stats], [pong], [shutting_down]. Every response carries the
+    request's [id], so one connection can pipeline many requests and sort
+    the interleaved responses. DESIGN.md ("Serve wire protocol") is the
+    schema reference. *)
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+val frame : string -> string
+(** [frame payload] is the on-wire encoding. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking full write of one frame. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+(** Blocking read of one frame's payload; [None] on clean EOF at a frame
+    boundary. Raises [Failure] on a malformed header, a truncated frame or
+    one exceeding [max_frame]. *)
+
+(** Incremental frame decoder for the server's non-blocking sockets. *)
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  val feed : t -> bytes -> int -> unit
+
+  val next : t -> (string option, string) result
+  (** [Ok (Some payload)] — a whole frame was buffered; call again, more
+      may follow. [Ok None] — need more bytes. [Error msg] — malformed or
+      oversized; drop the connection. *)
+end
+
+(** {1 Experiments} *)
+
+val all_sequence : string list
+(** What ["all"] expands to — the artifact sequence of [vliw_vp all], in
+    its print order. *)
+
+val known_experiments : string list
+
+val expand_experiments : string list -> (string list, string) result
+(** Expand ["all"] and validate names ([Error name] on an unknown one).
+    The empty list means ["all"]. *)
+
+(** {1 Requests} *)
+
+type submit = {
+  id : string;
+  experiments : string list;  (** expanded, validated, request order *)
+  benchmarks : string list;  (** validated names; [[]] = the full set *)
+  width : int;
+  seed : int;
+  threshold : float;
+  csv : bool;
+  timeout_s : float option;  (** [None] = the server default *)
+}
+
+type request =
+  | Submit of submit
+  | Stats of string  (** payload: request id *)
+  | Ping of string
+  | Shutdown of string
+
+type reject = { code : string; message : string }
+(** Structured rejection — [code] is one of the machine-readable error
+    codes listed in DESIGN.md ([bad_request], [unknown_experiment],
+    [unknown_benchmark], [overloaded], [quota_exceeded], [timeout],
+    [job_failed], [shutting_down], [protocol]). *)
+
+val reject : string -> ('a, unit, string, reject) format4 -> 'a
+
+val request_of_json : Jsonx.t -> (request, string * reject) result
+(** Parse and validate one request frame; errors carry the request id ([""]
+    if absent) for the error frame. Benchmark names are validated by the
+    server, which owns the model list. *)
+
+val json_of_submit : submit -> Jsonx.t
+
+(** {1 Response frames} *)
+
+val event : id:string -> event:string -> (string * Jsonx.t) list -> Jsonx.t
+
+val accepted : id:string -> artifacts:string list -> queue_depth:int -> Jsonx.t
+
+val result : id:string -> artifact:string -> data:string -> Jsonx.t
+
+val done_ : id:string -> wall_s:float -> Jsonx.t
+
+val error : id:string -> reject -> Jsonx.t

@@ -1,0 +1,687 @@
+(* The resident simulation daemon.
+
+   One process, two kinds of threads:
+
+   - the {e serve loop} (the caller's thread): a [Unix.select] loop over
+     non-blocking sockets that accepts connections, decodes request
+     frames, validates and admits them, declares their work as nodes on
+     the one shared {!Vp_exec.Graph}, and streams response frames as
+     results arrive;
+   - the graph's {e resident workers} ([Graph.start_workers], one domain
+     per [--jobs]): they execute ready nodes as they are declared.
+
+   The two meet in [completions]: each admitted artifact subscribes with
+   [Graph.on_complete], and the callback — running on whichever worker
+   domain finished the node — pushes the rendered result onto the
+   mutex-protected completion queue and pokes the self-pipe so the select
+   loop wakes immediately. Nothing in the serve loop ever blocks on a
+   simulation.
+
+   Sharing is the whole point: every request's nodes are declared onto the
+   same graph with the same content-addressed keys the CLI uses, so
+   overlapping requests from any number of clients resolve to in-flight
+   nodes (graph dedup), to already-finished nodes of an earlier request
+   (the graph keeps results), or to the on-disk store (warm cache) — the
+   payload simulations run once. *)
+
+module G = Vp_exec.Graph
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** additional 127.0.0.1 TCP listener *)
+  max_pending : int;  (** admitted-but-unfinished requests, server-wide *)
+  client_quota : int;  (** admitted-but-unfinished requests per connection *)
+  default_timeout_s : float;  (** per request; [0.] disables *)
+  max_frame : int;
+  stats_file : string option;  (** periodic telemetry snapshot target *)
+  stats_every_s : float;
+}
+
+let default_config ~socket () =
+  {
+    socket_path = socket;
+    tcp_port = None;
+    max_pending = 64;
+    client_quota = 16;
+    default_timeout_s = 300.0;
+    max_frame = Protocol.default_max_frame;
+    stats_file = None;
+    stats_every_s = 10.0;
+  }
+
+(* --- experiment declaration ------------------------------------------- *)
+
+(* Mirror of the CLI's config construction (bin/vliw_vp.ml) — byte-identity
+   of served results with direct runs depends on building the identical
+   [Config.t], which also makes the job keys (and so dedup and the warm
+   cache) line up. *)
+let build_config ~width ~seed ~threshold =
+  let base = Vliw_vp.Config.default in
+  {
+    base with
+    Vliw_vp.Config.width;
+    seed;
+    policy = { base.policy with threshold };
+  }
+
+let resolve_models = function
+  | [] -> Ok Vp_workload.Spec_model.all
+  | names ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Vp_workload.Spec_model.by_name n with
+            | Some m -> go (m :: acc) rest
+            | None -> Error n)
+      in
+      go [] names
+
+let render_key ~artifact ~config ~models ~csv =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ("serve-render", artifact, Vliw_vp.Spec_unit.version, models, config,
+           csv)
+          [ Marshal.Closures ]))
+
+let ablate_sweeps =
+  [
+    ("threshold", Vliw_vp.Experiments.threshold_sweep);
+    ("predictions", Vliw_vp.Experiments.prediction_budget_sweep);
+    ("ccb", Vliw_vp.Experiments.ccb_capacity_sweep);
+    ("syncbits", Vliw_vp.Experiments.sync_width_sweep);
+    ("ccewidth", Vliw_vp.Experiments.cce_width_sweep);
+    ("predictors", Vliw_vp.Experiments.predictor_sweep);
+    ("accounting", Vliw_vp.Experiments.accounting_sweep);
+  ]
+
+(* Declare the artifact's work on the shared graph and return one node
+   whose value is the artifact's rendered bytes — exactly the bytes
+   [vliw_vp all] prints for that artifact, trailing separator newline
+   included, so a client can reassemble the byte-identical document. The
+   render node is a [~cache:false] reducer like the experiments' own: its
+   key dedups repeat submissions at the graph level (the graph keeps
+   finished nodes, so a repeated artifact answers without touching the
+   store), while the underlying simulation leaves dedup/cache exactly as
+   they do for the CLI. *)
+let declare_artifact g ~config ~models ~csv artifact :
+    string G.node =
+  let module E = Vliw_vp.Experiments in
+  let module S = E.Suite in
+  let format = if csv then `Csv else `Ascii in
+  let key = render_key ~artifact ~config ~models ~csv in
+  let render ?(deps = []) f =
+    G.node g ~label:("render:" ^ artifact) ~group:"serve" ~cache:false ~key
+      ~deps
+      (fun _ctx -> f ())
+  in
+  let with_summaries f =
+    let n = S.run_all g ~config models in
+    render ~deps:[ G.pack n ] (fun () -> f (G.value n))
+  in
+  match artifact with
+  | "table2" -> with_summaries (fun s -> E.render_table2 ~format s ^ "\n")
+  | "table3" -> with_summaries (fun s -> E.render_table3 ~format s ^ "\n")
+  | "fig8" -> with_summaries (fun s -> E.render_figure8 s ^ "\n")
+  | "comparison" ->
+      with_summaries (fun s -> E.render_comparison ~format s ^ "\n")
+  | "table4" ->
+      let n = S.table4 g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_table4 ~format (G.value n) ^ "\n")
+  | "regions" ->
+      let n = S.regions g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_regions ~format (G.value n) ^ "\n")
+  | "overlap" ->
+      let n = S.overlap_validation g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_overlap ~format (G.value n) ^ "\n")
+  | "hyperblocks" ->
+      let n = S.hyperblocks g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_hyperblocks ~format (G.value n) ^ "\n")
+  | "hardware" ->
+      let n = S.hardware_validation g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          Vliw_vp.Trace_sim.render (G.value n) ^ "\n")
+  | "stability" ->
+      let n = S.stability g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_stability ~format (G.value n) ^ "\n")
+  | "recovery" ->
+      let model = List.hd models in
+      let n = S.recovery_sensitivity g ~config model in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_recovery_sensitivity ~format
+            ~bench:model.Vp_workload.Spec_model.name (G.value n)
+          ^ "\n")
+  | "example" ->
+      render (fun () -> Format.asprintf "%a@." Vliw_vp.Example.describe ())
+  | _ -> (
+      match
+        if String.length artifact > 7 && String.sub artifact 0 7 = "ablate:"
+        then
+          List.assoc_opt
+            (String.sub artifact 7 (String.length artifact - 7))
+            ablate_sweeps
+        else None
+      with
+      | None ->
+          (* [Protocol.expand_experiments] validated the name; reaching
+             here means the registry and this match diverged *)
+          invalid_arg ("Vp_serve.Server: unmapped artifact " ^ artifact)
+      | Some sweep ->
+          let sweep_name =
+            String.sub artifact 7 (String.length artifact - 7)
+          in
+          let nodes =
+            List.map (fun m -> (m, S.ablate g ~config m sweep)) models
+          in
+          render
+            ~deps:(List.map (fun (_, n) -> G.pack n) nodes)
+            (fun () ->
+              String.concat ""
+                (List.map
+                   (fun ((m : Vp_workload.Spec_model.t), n) ->
+                     E.render_ablation
+                       ~title:
+                         (Printf.sprintf "%s: %s sweep"
+                            m.Vp_workload.Spec_model.name sweep_name)
+                       (G.value n)
+                     ^ "\n")
+                   nodes)))
+
+(* --- connections and requests ----------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  dec : Protocol.Decoder.t;
+  outq : string Queue.t;  (* framed bytes; head may be partially written *)
+  mutable out_off : int;
+  mutable outstanding : int;  (* admitted requests not yet settled *)
+  mutable dropped : bool;
+}
+
+type req = {
+  rid : string;
+  rconn : conn;
+  total : int;
+  mutable done_count : int;
+  mutable settled : bool;  (* done, errored, timed out or client gone *)
+  cancel : Vp_exec.Cancel.t;
+  rt0 : float;
+}
+
+type completion = {
+  c_req : req;
+  c_artifact : string;
+  c_result : (string, string) result;
+}
+
+type t = {
+  cfg : config;
+  exec : Vp_exec.Context.t;
+  graph : G.t;
+  telemetry : Telemetry.t;
+  (* worker-to-loop handoff *)
+  cmutex : Mutex.t;
+  mutable completions : completion list;  (* reversed *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  (* serve-loop state *)
+  mutable conns : conn list;
+  mutable live : req list;
+  mutable outstanding : int;
+  mutable shutting : bool;
+  mutable next_cid : int;
+  mutable last_stats : float;
+}
+
+let send _t conn json =
+  if not conn.dropped then
+    Queue.add (Protocol.frame (Jsonx.to_string json)) conn.outq
+
+let wake t =
+  (* a full pipe already guarantees a pending wakeup *)
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+    ()
+
+let push_completion t c =
+  Mutex.protect t.cmutex (fun () -> t.completions <- c :: t.completions);
+  wake t
+
+let take_completions t =
+  List.rev (Mutex.protect t.cmutex (fun () ->
+      let cs = t.completions in
+      t.completions <- [];
+      cs))
+
+let stats_json t =
+  Telemetry.json t.telemetry
+    ~pool:(Vp_exec.Progress.snapshot t.exec.Vp_exec.Context.progress)
+    ~queue_depth:t.outstanding
+
+let write_stats_file t =
+  match t.cfg.stats_file with
+  | None -> ()
+  | Some path -> (
+      try
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Jsonx.to_string (stats_json t));
+            output_char oc '\n');
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+(* --- request handling -------------------------------------------------- *)
+
+let settle_request t (r : req) =
+  if not r.settled then begin
+    r.settled <- true;
+    r.rconn.outstanding <- max 0 (r.rconn.outstanding - 1);
+    t.outstanding <- max 0 (t.outstanding - 1)
+  end
+
+let reject_submit t conn ~id (rej : Protocol.reject) =
+  Telemetry.rejected t.telemetry ~cid:conn.cid ~code:rej.code;
+  send t conn (Protocol.error ~id rej)
+
+let handle_submit t conn (s : Protocol.submit) =
+  if t.shutting then
+    reject_submit t conn ~id:s.id
+      (Protocol.reject "shutting_down" "server is draining for shutdown")
+  else if t.outstanding >= t.cfg.max_pending then
+    reject_submit t conn ~id:s.id
+      (Protocol.reject "overloaded"
+         "pending queue full (%d requests); retry later" t.cfg.max_pending)
+  else if conn.outstanding >= t.cfg.client_quota then
+    reject_submit t conn ~id:s.id
+      (Protocol.reject "quota_exceeded"
+         "client has %d requests outstanding (quota %d)" conn.outstanding
+         t.cfg.client_quota)
+  else
+    match resolve_models s.benchmarks with
+    | Error name ->
+        reject_submit t conn ~id:s.id
+          (Protocol.reject "unknown_benchmark" "unknown benchmark %S" name)
+    | Ok models ->
+        let config =
+          build_config ~width:s.width ~seed:s.seed ~threshold:s.threshold
+        in
+        let timeout =
+          match s.timeout_s with
+          | Some ts when ts > 0.0 -> Some ts
+          | Some _ -> None
+          | None ->
+              if t.cfg.default_timeout_s > 0.0 then
+                Some t.cfg.default_timeout_s
+              else None
+        in
+        let now = Unix.gettimeofday () in
+        let cancel =
+          Vp_exec.Cancel.create
+            ?deadline:(Option.map (fun ts -> now +. ts) timeout)
+            ()
+        in
+        let r =
+          {
+            rid = s.id;
+            rconn = conn;
+            total = List.length s.experiments;
+            done_count = 0;
+            settled = false;
+            cancel;
+            rt0 = now;
+          }
+        in
+        conn.outstanding <- conn.outstanding + 1;
+        t.outstanding <- t.outstanding + 1;
+        t.live <- r :: t.live;
+        Telemetry.accepted t.telemetry ~cid:conn.cid;
+        send t conn
+          (Protocol.accepted ~id:s.id ~artifacts:s.experiments
+             ~queue_depth:t.outstanding);
+        (* Declare every artifact before subscribing can settle the
+           request: declaration is cheap (payloads run on the worker
+           domains), and the callbacks only touch the completion queue. *)
+        List.iter
+          (fun artifact ->
+            let node =
+              declare_artifact t.graph ~config ~models ~csv:s.csv artifact
+            in
+            G.on_complete t.graph node (fun result ->
+                push_completion t
+                  { c_req = r; c_artifact = artifact; c_result = result }))
+          s.experiments
+
+let handle_frame t conn payload =
+  match Jsonx.parse payload with
+  | Error msg ->
+      send t conn
+        (Protocol.error ~id:""
+           (Protocol.reject "bad_request" "unparseable frame: %s" msg))
+  | Ok json -> (
+      Telemetry.received t.telemetry;
+      match Protocol.request_of_json json with
+      | Error (id, rej) -> reject_submit t conn ~id rej
+      | Ok (Protocol.Ping id) -> send t conn (Protocol.event ~id ~event:"pong" [])
+      | Ok (Protocol.Stats id) ->
+          send t conn
+            (Protocol.event ~id ~event:"stats" [ ("stats", stats_json t) ])
+      | Ok (Protocol.Shutdown id) ->
+          t.shutting <- true;
+          send t conn (Protocol.event ~id ~event:"shutting_down" [])
+      | Ok (Protocol.Submit s) -> handle_submit t conn s)
+
+let time_out_request t (r : req) =
+  Vp_exec.Cancel.cancel r.cancel ~reason:"request timeout";
+  send t r.rconn
+    (Protocol.error ~id:r.rid
+       (Protocol.reject "timeout"
+          "request exceeded its budget after %d/%d artifacts" r.done_count
+          r.total));
+  settle_request t r;
+  Telemetry.timed_out t.telemetry ~cid:r.rconn.cid
+
+let handle_completion t (c : completion) =
+  let r = c.c_req in
+  (* budget enforcement is by deadline, not by luck of scheduling: a
+     result that arrives past the request's deadline is a timeout even if
+     no tick has fired yet *)
+  if (not r.settled) && Vp_exec.Cancel.should_stop r.cancel then
+    time_out_request t r;
+  if not r.settled then
+    match c.c_result with
+    | Ok data ->
+        send t r.rconn (Protocol.result ~id:r.rid ~artifact:c.c_artifact ~data);
+        r.done_count <- r.done_count + 1;
+        if r.done_count = r.total then begin
+          let wall = Unix.gettimeofday () -. r.rt0 in
+          send t r.rconn (Protocol.done_ ~id:r.rid ~wall_s:wall);
+          settle_request t r;
+          Telemetry.completed t.telemetry ~cid:r.rconn.cid ~wall
+        end
+    | Error msg ->
+        send t r.rconn
+          (Protocol.error ~id:r.rid
+             (Protocol.reject "job_failed" "%s (artifact %s)" msg c.c_artifact));
+        settle_request t r;
+        Telemetry.failed t.telemetry ~cid:r.rconn.cid
+
+let check_timeouts t =
+  List.iter
+    (fun r ->
+      if (not r.settled) && Vp_exec.Cancel.should_stop r.cancel then
+        time_out_request t r)
+    t.live;
+  t.live <- List.filter (fun r -> not r.settled) t.live
+
+(* --- socket plumbing --------------------------------------------------- *)
+
+let drop_conn t conn =
+  if not conn.dropped then begin
+    conn.dropped <- true;
+    Telemetry.client_disconnected t.telemetry ~cid:conn.cid;
+    (* requests of a vanished client: stop tracking, nothing to send *)
+    List.iter (fun r -> if r.rconn == conn then settle_request t r) t.live;
+    t.live <- List.filter (fun r -> not r.settled) t.live;
+    (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ());
+    t.conns <- List.filter (fun c -> not (c == conn)) t.conns
+  end
+
+let accept_loop t listener ~peer_name =
+  let rec go () =
+    match Unix.accept ~cloexec:true listener with
+    | fd, addr ->
+        Unix.set_nonblock fd;
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        let peer =
+          match addr with
+          | Unix.ADDR_UNIX _ -> peer_name
+          | Unix.ADDR_INET (host, port) ->
+              Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+        in
+        let conn =
+          {
+            fd;
+            cid;
+            dec = Protocol.Decoder.create ~max_frame:t.cfg.max_frame ();
+            outq = Queue.create ();
+            out_off = 0;
+            outstanding = 0;
+            dropped = false;
+          }
+        in
+        Telemetry.client_connected t.telemetry ~cid ~peer;
+        t.conns <- conn :: t.conns;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> drop_conn t conn
+    | n ->
+        Protocol.Decoder.feed conn.dec buf n;
+        let rec frames () =
+          match Protocol.Decoder.next conn.dec with
+          | Ok (Some payload) ->
+              handle_frame t conn payload;
+              frames ()
+          | Ok None -> ()
+          | Error msg ->
+              send t conn
+                (Protocol.error ~id:"" (Protocol.reject "protocol" "%s" msg));
+              (* flush the error best-effort, then drop *)
+              drop_conn t conn
+        in
+        frames ();
+        if not conn.dropped then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> drop_conn t conn
+  in
+  go ()
+
+let write_conn t conn =
+  let rec go () =
+    match Queue.peek_opt conn.outq with
+    | None -> ()
+    | Some chunk -> (
+        let len = String.length chunk - conn.out_off in
+        match Unix.write_substring conn.fd chunk conn.out_off len with
+        | n ->
+            if n = len then begin
+              ignore (Queue.pop conn.outq);
+              conn.out_off <- 0;
+              go ()
+            end
+            else conn.out_off <- conn.out_off + n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (_, _, _) -> drop_conn t conn)
+  in
+  go ()
+
+let unix_listener path =
+  (if Sys.file_exists path then
+     (* stale socket from a dead daemon is unlinked; a live one is an error *)
+     let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     match Unix.connect probe (Unix.ADDR_UNIX path) with
+     | () ->
+         Unix.close probe;
+         failwith (Printf.sprintf "socket %s: a daemon is already listening" path)
+     | exception Unix.Unix_error (_, _, _) ->
+         Unix.close probe;
+         (try Sys.remove path with Sys_error _ -> ()));
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let tcp_listener port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+(* --- main loop --------------------------------------------------------- *)
+
+let interrupted = Atomic.make false
+
+let run ?(on_ready = fun () -> ()) ~exec cfg =
+  let graph = G.create exec in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      cfg;
+      exec;
+      graph;
+      telemetry = Telemetry.create ();
+      cmutex = Mutex.create ();
+      completions = [];
+      wake_r;
+      wake_w;
+      conns = [];
+      live = [];
+      outstanding = 0;
+      shutting = false;
+      next_cid = 1;
+      last_stats = Unix.gettimeofday ();
+    }
+  in
+  let unix_l = unix_listener cfg.socket_path in
+  let tcp_l = Option.map tcp_listener cfg.tcp_port in
+  let listeners = unix_l :: Option.to_list tcp_l in
+  Atomic.set interrupted false;
+  (* The handler also writes the self-pipe so a signal that lands just
+     before an idle (infinite-timeout) select still wakes the loop. *)
+  let on_signal _ =
+    Atomic.set interrupted true;
+    wake t
+  in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  G.start_workers graph;
+  on_ready ();
+  let listeners_open = ref true in
+  let close_listeners () =
+    if !listeners_open then begin
+      listeners_open := false;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        listeners
+    end
+  in
+  let finished () =
+    t.shutting && t.outstanding = 0
+    && List.for_all (fun c -> Queue.is_empty c.outq) t.conns
+  in
+  let drain_wake () =
+    let buf = Bytes.create 256 in
+    let rec go () =
+      match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let rec loop () =
+    if Atomic.get interrupted then t.shutting <- true;
+    if t.shutting then close_listeners ();
+    if not (finished ()) then begin
+      let reads =
+        (t.wake_r :: (if !listeners_open then listeners else []))
+        @ List.map (fun c -> c.fd) t.conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+          t.conns
+      in
+      (* Only tick when something is time-driven: request deadlines or
+         periodic stats snapshots (shutdown progress is event-driven but
+         ticks too, cheaply, as a backstop). A fully idle daemon blocks
+         until a socket or the self-pipe wakes it — zero allocation and
+         zero CPU between requests, which also keeps a resident daemon
+         from defeating heap stabilization (Gc.compact convergence) for
+         anything else in the process, e.g. the bench harness. *)
+      let timeout =
+        if t.live = [] && (not t.shutting) && t.cfg.stats_file = None then
+          -1.0
+        else 0.2
+      in
+      let readable, writable, _ =
+        match Unix.select reads writes [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem t.wake_r readable then drain_wake ();
+      if !listeners_open then
+        List.iter
+          (fun l ->
+            if List.mem l readable then
+              accept_loop t l
+                ~peer_name:
+                  (if Some l = tcp_l then "tcp" else cfg.socket_path))
+          listeners;
+      List.iter
+        (fun c -> if List.mem c.fd readable then read_conn t c)
+        t.conns;
+      List.iter (handle_completion t) (take_completions t);
+      check_timeouts t;
+      List.iter
+        (fun c ->
+          if List.mem c.fd writable && not (Queue.is_empty c.outq) then
+            write_conn t c)
+        t.conns;
+      (* opportunistic flush: frames enqueued this iteration *)
+      List.iter
+        (fun c -> if not (Queue.is_empty c.outq) then write_conn t c)
+        t.conns;
+      (match t.cfg.stats_file with
+      | Some _ ->
+          let now = Unix.gettimeofday () in
+          if now -. t.last_stats >= t.cfg.stats_every_s then begin
+            t.last_stats <- now;
+            write_stats_file t
+          end
+      | None -> ());
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_listeners ();
+      G.stop_workers graph;
+      write_stats_file t;
+      List.iter (fun c -> drop_conn t c) t.conns;
+      (try Unix.close wake_r with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.close wake_w with Unix.Unix_error (_, _, _) -> ());
+      (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigpipe old_pipe)
+    loop;
+  stats_json t

@@ -1,0 +1,54 @@
+(** The resident simulation daemon behind [vliw_vp serve].
+
+    {!run} owns the calling thread: it binds the Unix (and optionally a
+    loopback TCP) listener, spawns the shared graph's resident worker
+    domains, and runs a [select] loop that accepts connections, decodes
+    {!Protocol} frames, admits requests, declares their artifacts as
+    content-addressed nodes on {e one} shared {!Vp_exec.Graph}, and
+    streams results back as the nodes complete. Overlapping requests —
+    from one client or many — resolve to in-flight nodes, to results the
+    graph already holds, or to the warm on-disk store; each payload
+    simulation runs once per process lifetime.
+
+    Production envelope:
+    - {e admission control}: at most [max_pending] admitted-but-unfinished
+      requests server-wide and [client_quota] per connection; excess
+      submits are rejected immediately with a structured [error] frame
+      ([overloaded] / [quota_exceeded]) — the server never silently hangs
+      a client;
+    - {e timeouts}: every request carries a {!Vp_exec.Cancel} token with a
+      deadline ([timeout_s] in the request, else [default_timeout_s]); on
+      expiry the client gets an [error] frame with code [timeout] and the
+      token is cancelled (running jobs unwind at their next cancellation
+      check; finished shared nodes stay warm for future requests);
+    - {e graceful shutdown}: a [shutdown] request, SIGINT or SIGTERM stop
+      the listeners, reject new submits with [shutting_down], drain every
+      admitted request to its [done]/[error] frame, flush the sockets,
+      stop the workers and remove the socket file;
+    - {e telemetry}: a [stats] request answers with the {!Telemetry}
+      snapshot (request counters, latency percentiles, per-client
+      counters, graph dedup and cache hit rate); [stats_file] additionally
+      gets a JSON snapshot every [stats_every_s] seconds and once at
+      shutdown. *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** additional 127.0.0.1 TCP listener *)
+  max_pending : int;  (** admitted-but-unfinished requests, server-wide *)
+  client_quota : int;  (** admitted-but-unfinished requests per connection *)
+  default_timeout_s : float;  (** per request; [0.] disables *)
+  max_frame : int;
+  stats_file : string option;  (** periodic telemetry snapshot target *)
+  stats_every_s : float;
+}
+
+val default_config : socket:string -> unit -> config
+(** 64 pending, 16 per client, 300 s timeout, 4 MiB frames, no TCP, no
+    stats file. *)
+
+val run : ?on_ready:(unit -> unit) -> exec:Vp_exec.Context.t -> config -> Jsonx.t
+(** Run the daemon until shutdown; returns the final telemetry snapshot.
+    [on_ready] fires once the listeners are bound (used by tests and the
+    in-process bench harness to know when to connect). The context's
+    [jobs] sets the resident worker count; its [store] is the shared warm
+    cache. *)

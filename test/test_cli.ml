@@ -1,0 +1,94 @@
+(* Subprocess tests for the vliw_vp driver's command-line error handling:
+   an unknown subcommand or malformed flag must produce exactly one
+   diagnostic line on stderr (no usage dump) and a non-zero exit. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* The driver binary, located relative to the test executable inside
+   _build (test/foo.exe -> bin/vliw_vp.exe). *)
+let vliw_vp =
+  let d = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.dirname d) (Filename.concat "bin" "vliw_vp.exe")
+
+let read_all fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Run the driver, return (exit code, stderr). stdout goes to /dev/null. *)
+let run args =
+  let err_r, err_w = Unix.pipe ~cloexec:false () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process vliw_vp
+      (Array.of_list (vliw_vp :: args))
+      Unix.stdin devnull err_w
+  in
+  Unix.close err_w;
+  Unix.close devnull;
+  let stderr_out = read_all err_r in
+  Unix.close err_r;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> (code, stderr_out)
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Alcotest.failf "vliw_vp killed by signal %d" n
+
+let nonempty_lines s =
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+
+let check_one_line_error name args ~expect_sub =
+  let code, err = run args in
+  checkb (name ^ ": non-zero exit") true (code <> 0);
+  let lines = nonempty_lines err in
+  checki (name ^ ": exactly one stderr line") 1 (List.length lines);
+  let line = List.hd lines in
+  checkb
+    (Printf.sprintf "%s: diagnostic mentions %S (got %S)" name expect_sub line)
+    true
+    (let n = String.length expect_sub and m = String.length line in
+     let rec go i = i + n <= m && (String.sub line i n = expect_sub || go (i + 1)) in
+     go 0)
+
+let test_unknown_subcommand () =
+  check_one_line_error "unknown subcommand" [ "frobnicate" ]
+    ~expect_sub:"unknown command"
+
+let test_unknown_flag () =
+  check_one_line_error "unknown flag" [ "table2"; "--bogus-flag" ]
+    ~expect_sub:"unknown option"
+
+let test_missing_flag_value () =
+  check_one_line_error "missing flag value" [ "table2"; "--width" ]
+    ~expect_sub:"needs an argument"
+
+let test_bad_flag_value () =
+  check_one_line_error "malformed flag value"
+    [ "table2"; "--width"; "not-a-number" ] ~expect_sub:"invalid value"
+
+let test_valid_command_still_works () =
+  let code, err = run [ "example" ] in
+  checki "exit 0" 0 code;
+  checki "no stderr" 0 (List.length (nonempty_lines err))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vliw_vp_cli"
+    [
+      ( "errors",
+        [
+          tc "unknown subcommand" test_unknown_subcommand;
+          tc "unknown flag" test_unknown_flag;
+          tc "missing flag value" test_missing_flag_value;
+          tc "bad flag value" test_bad_flag_value;
+          tc "valid command unaffected" test_valid_command_still_works;
+        ] );
+    ]

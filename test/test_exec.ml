@@ -152,6 +152,70 @@ let test_store_evicts_corrupt () =
   | Vp_exec.Store.Miss -> ()
   | _ -> Alcotest.fail "expected Miss after eviction"
 
+let test_store_concurrent_writers () =
+  (* Two domains hammering the same key with puts while two more read:
+     atomic rename puts mean no reader may ever observe a torn or corrupt
+     entry, and the final state is a clean hit. *)
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  let value = List.init 1_000 (fun i -> i * 3) in
+  let writer () =
+    for _ = 1 to 50 do
+      Vp_exec.Store.put store ~key:"shared" value
+    done
+  in
+  let bad = Atomic.make 0 in
+  let reader () =
+    for _ = 1 to 200 do
+      match Vp_exec.Store.find store ~key:"shared" with
+      | Vp_exec.Store.Hit v -> if v <> value then Atomic.incr bad
+      | Vp_exec.Store.Miss -> ()  (* before the first put lands *)
+      | Vp_exec.Store.Evicted -> Atomic.incr bad
+    done
+  in
+  List.iter Domain.join
+    [
+      Domain.spawn writer;
+      Domain.spawn writer;
+      Domain.spawn reader;
+      Domain.spawn reader;
+    ];
+  checki "no torn or evicted observations" 0 (Atomic.get bad);
+  match Vp_exec.Store.find store ~key:"shared" with
+  | Vp_exec.Store.Hit v -> checkb "final hit intact" true (v = value)
+  | _ -> Alcotest.fail "expected a final hit"
+
+let test_store_concurrent_evict_once () =
+  (* Racing readers of one corrupt entry: eviction must be counted exactly
+     once per entry (the losers of the tombstone rename report Miss), and
+     no reader may unlink a neighbour's fresh entry. *)
+  let store = Vp_exec.Store.create ~dir:(fresh_dir ()) () in
+  for round = 1 to 10 do
+    let key = Printf.sprintf "corrupt-%d" round in
+    Vp_exec.Store.put store ~key 42;
+    let oc = open_out (Vp_exec.Store.entry_path store ~key) in
+    output_string oc "garbage, not a cache entry";
+    close_out oc;
+    let evicted = Atomic.make 0 and go = Atomic.make false in
+    let racer () =
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      match Vp_exec.Store.find store ~key with
+      | Vp_exec.Store.Evicted -> Atomic.incr evicted
+      | Vp_exec.Store.Miss -> ()
+      | Vp_exec.Store.Hit _ -> Alcotest.fail "hit on a corrupt entry"
+    in
+    let ds = List.init 4 (fun _ -> Domain.spawn racer) in
+    Atomic.set go true;
+    List.iter Domain.join ds;
+    checki
+      (Printf.sprintf "round %d: eviction counted once" round)
+      1 (Atomic.get evicted);
+    match Vp_exec.Store.find store ~key with
+    | Vp_exec.Store.Miss -> ()
+    | _ -> Alcotest.fail "expected Miss after eviction"
+  done
+
 let test_store_rejects_stale_version () =
   let dir = fresh_dir () in
   let old_store = Vp_exec.Store.create ~version:"v-old" ~dir () in
@@ -265,6 +329,39 @@ let test_graph_failure_poisons_dependents_only () =
       checkb "diagnostic mentions the exception" true
         (contains ~sub:"kaboom" message)
 
+let test_graph_await_after_failure () =
+  (* Awaiting a node whose dependency failed must return the failure
+     promptly — not hang — and a second await must report the same error.
+     Both matter to the serve daemon, which keeps one long-lived graph and
+     may see the same poisoned node awaited by many requests. *)
+  let g = G.create (Vp_exec.Context.create ~jobs:2 ()) in
+  let bad = G.node g ~cache:false ~key:"afail-src" (fun _ -> failwith "boom") in
+  let dep =
+    G.node g ~cache:false ~key:"afail-dep" ~deps:[ G.pack bad ] (fun _ ->
+        Alcotest.fail "poisoned payload must not run")
+  in
+  let t0 = Unix.gettimeofday () in
+  let first =
+    match G.await g dep with
+    | _ -> Alcotest.fail "expected Job_failed"
+    | exception Vp_exec.Context.Job_failed { key; message; _ } ->
+        checks "failed key" "afail-dep" key;
+        message
+  in
+  checkb "failure reported promptly" true (Unix.gettimeofday () -. t0 < 5.0);
+  (match G.await g dep with
+  | _ -> Alcotest.fail "second await must also fail"
+  | exception Vp_exec.Context.Job_failed { message; _ } ->
+      checks "same diagnostic on repeated await" first message);
+  (* a completion subscription on the poisoned node fires immediately *)
+  let fired = ref None in
+  G.on_complete g dep (fun r -> fired := Some r);
+  match !fired with
+  | Some (Error msg) ->
+      checkb "callback carries the diagnostic" true (contains ~sub:"boom" msg)
+  | Some (Ok _) -> Alcotest.fail "poisoned node reported Ok"
+  | None -> Alcotest.fail "on_complete did not fire for a finished node"
+
 let test_graph_suite_parallel_determinism () =
   (* The full suite path: several experiments declared on one shared
      graph, drained barrier-free. jobs=1 (declaration-order drain) is the
@@ -367,6 +464,8 @@ let () =
         [
           tc "round trip" test_store_round_trip;
           tc "evicts corrupt" test_store_evicts_corrupt;
+          tc "concurrent writers" test_store_concurrent_writers;
+          tc "concurrent evict once" test_store_concurrent_evict_once;
           tc "rejects stale version" test_store_rejects_stale_version;
           tc "spec-unit version bump evicts" test_spec_unit_version_bump_evicts;
           tc "unusable cache dir downgrades" test_cli_context_unusable_cache_dir;
@@ -377,6 +476,7 @@ let () =
           tc "diamond dedup" test_graph_diamond_dedup;
           tc "failure poisons dependents only"
             test_graph_failure_poisons_dependents_only;
+          tc "await after failure" test_graph_await_after_failure;
           tc "suite parallel determinism" test_graph_suite_parallel_determinism;
         ] );
       ( "experiments",

@@ -1,0 +1,307 @@
+(* Tests for Vp_serve: the hand-rolled JSON codec, the frame decoder, the
+   request validation, and the daemon end-to-end over a real Unix socket —
+   byte-identity with the direct renderers, warm/dedup behaviour,
+   admission control, timeouts and graceful shutdown. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+module J = Vp_serve.Jsonx
+module P = Vp_serve.Protocol
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vp_serve_test_%d_%d.sock" (Unix.getpid ()) !n)
+
+let par_jobs =
+  match Option.bind (Sys.getenv_opt "VP_TEST_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 4
+
+(* --- Jsonx --- *)
+
+let test_jsonx_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "he\"llo\n\t\\x");
+        ("i", J.Int (-42));
+        ("f", J.Float 1.5);
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.Str "two"; J.Obj [ ("k", J.Bool false) ] ]);
+      ]
+  in
+  match J.parse (J.to_string v) with
+  | Error e -> Alcotest.fail e
+  | Ok v' -> checks "roundtrip" (J.to_string v) (J.to_string v')
+
+let test_jsonx_parse () =
+  (match J.parse {| {"a": [1, 2.5, "xAy", null, true]} |} with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match J.list_member "a" j with
+      | Some [ J.Int 1; J.Float f; J.Str s; J.Null; J.Bool true ] ->
+          checkb "float" true (abs_float (f -. 2.5) < 1e-9);
+          checks "unicode escape" "xAy" s
+      | _ -> Alcotest.fail "unexpected structure"));
+  checkb "trailing garbage rejected" true
+    (Result.is_error (J.parse "{} junk"));
+  checkb "bad literal rejected" true (Result.is_error (J.parse "trueish"));
+  checkb "unterminated string rejected" true
+    (Result.is_error (J.parse "\"abc"))
+
+(* --- frame decoder --- *)
+
+let test_decoder_split_frames () =
+  (* two frames fed one byte at a time must come out intact and in order *)
+  let wire = P.frame "hello" ^ P.frame "{\"x\":1}" in
+  let dec = P.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.Decoder.feed dec (Bytes.make 1 c) 1;
+      let rec drain () =
+        match P.Decoder.next dec with
+        | Ok (Some p) ->
+            got := p :: !got;
+            drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.fail e
+      in
+      drain ())
+    wire;
+  Alcotest.(check (list string)) "frames" [ "hello"; "{\"x\":1}" ] (List.rev !got)
+
+let test_decoder_rejects_oversized () =
+  let dec = P.Decoder.create ~max_frame:10 () in
+  let wire = P.frame (String.make 100 'x') in
+  P.Decoder.feed dec (Bytes.of_string wire) (String.length wire);
+  checkb "oversized rejected" true (Result.is_error (P.Decoder.next dec))
+
+let test_decoder_rejects_garbage () =
+  let dec = P.Decoder.create () in
+  let wire = "nonsense\n" in
+  P.Decoder.feed dec (Bytes.of_string wire) (String.length wire);
+  checkb "garbage rejected" true (Result.is_error (P.Decoder.next dec))
+
+(* --- request validation --- *)
+
+let parse_req s =
+  match J.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok j -> P.request_of_json j
+
+let test_request_validation () =
+  (match parse_req {|{"op":"submit","id":"r1","experiments":["table2"]}|} with
+  | Ok (P.Submit s) ->
+      checks "id" "r1" s.id;
+      Alcotest.(check (list string)) "experiments" [ "table2" ] s.experiments;
+      checki "default width" 4 s.width;
+      checki "default seed" 42 s.seed
+  | _ -> Alcotest.fail "expected submit");
+  (match parse_req {|{"op":"submit","id":"r2"}|} with
+  | Ok (P.Submit s) ->
+      Alcotest.(check (list string)) "empty = all" P.all_sequence s.experiments
+  | _ -> Alcotest.fail "expected submit");
+  (match parse_req {|{"op":"submit","id":"r3","experiments":["bogus"]}|} with
+  | Error (id, r) ->
+      checks "id" "r3" id;
+      checks "code" "unknown_experiment" r.code
+  | Ok _ -> Alcotest.fail "bogus experiment accepted");
+  (match
+     parse_req {|{"op":"submit","id":"r4","config":{"width":9999}}|}
+   with
+  | Error (_, r) -> checks "code" "bad_request" r.code
+  | Ok _ -> Alcotest.fail "width 9999 accepted");
+  (match parse_req {|{"id":"r5"}|} with
+  | Error (_, r) -> checks "code" "bad_request" r.code
+  | Ok _ -> Alcotest.fail "missing op accepted");
+  match parse_req {|{"op":"frobnicate","id":"r6"}|} with
+  | Error (_, r) -> checks "code" "bad_request" r.code
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+
+(* --- end-to-end over a real daemon --- *)
+
+(* Start a daemon in its own domain, run [f client], shut down cleanly.
+   Returns [f]'s result after the daemon has exited. *)
+let with_server ?(cfg = fun c -> c) ?(jobs = par_jobs) f =
+  let socket = fresh_socket () in
+  let config = cfg (Vp_serve.Server.default_config ~socket ()) in
+  let ready = Atomic.make false in
+  let exec = Vp_exec.Context.create ~jobs () in
+  let srv =
+    Domain.spawn (fun () ->
+        Vp_serve.Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~exec config)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon never became ready";
+  let client = Vp_serve.Client.connect socket in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Vp_serve.Client.shutdown client with _ -> ());
+        Vp_serve.Client.close client;
+        ignore (Domain.join srv))
+      (fun () -> f client)
+  in
+  checkb "socket removed after shutdown" false (Sys.file_exists socket);
+  result
+
+let compress = [ Vp_workload.Spec_model.compress ]
+
+(* The exact bytes the daemon must stream for table2 over the compress
+   model: the direct renderer plus the all-document separator newline. *)
+let direct_table2 =
+  lazy
+    (Vliw_vp.Experiments.render_table2
+       (Vliw_vp.Experiments.run_all ~config:Vliw_vp.Config.default compress)
+    ^ "\n")
+
+let table2_spec () =
+  Vp_serve.Client.submit_spec ~experiments:[ "table2" ]
+    ~benchmarks:[ "compress" ] ()
+
+let test_e2e_byte_identity () =
+  with_server (fun client ->
+      let o = Vp_serve.Client.submit client (table2_spec ()) in
+      (match o.error with
+      | Some (code, m) -> Alcotest.fail (code ^ ": " ^ m)
+      | None -> ());
+      match o.results with
+      | [ ("table2", data) ] -> checks "bytes" (Lazy.force direct_table2) data
+      | r -> Alcotest.failf "expected one table2 result, got %d" (List.length r))
+
+let graph_jobs client =
+  let stats = Vp_serve.Client.stats client in
+  match J.member "graph" stats with
+  | Some g -> Option.value ~default:(-1) (J.int_member "jobs_queued" g)
+  | None -> Alcotest.fail "stats without graph section"
+
+let test_e2e_warm_resubmit_runs_nothing () =
+  with_server (fun client ->
+      let o1 = Vp_serve.Client.submit client (table2_spec ()) in
+      checkb "first ok" true (o1.error = None);
+      let jobs1 = graph_jobs client in
+      checkb "first run executed jobs" true (jobs1 > 0);
+      let o2 = Vp_serve.Client.submit client (table2_spec ()) in
+      checkb "second ok" true (o2.error = None);
+      checki "warm resubmit adds zero jobs" jobs1 (graph_jobs client);
+      checkb "identical bytes" true (o1.results = o2.results))
+
+let test_e2e_overlap_identical_streams () =
+  (* Two overlapping cold submits of the same request, pipelined so both
+     are in flight together; both must get the full byte-identical stream
+     and the payload must not run twice (the warm-resubmit test pins the
+     job counters; here the point is the concurrent streams agree). *)
+  with_server (fun client ->
+      let id1 = Vp_serve.Client.submit_async client (table2_spec ()) in
+      let id2 = Vp_serve.Client.submit_async client (table2_spec ()) in
+      let o1 = Vp_serve.Client.await client ~id:id1 in
+      let o2 = Vp_serve.Client.await client ~id:id2 in
+      checkb "both ok" true (o1.error = None && o2.error = None);
+      checkb "identical" true (o1.results = o2.results);
+      checks "against direct render" (Lazy.force direct_table2)
+        (String.concat "" (List.map snd o1.results)))
+
+let test_e2e_admission_overloaded () =
+  with_server
+    ~cfg:(fun c -> { c with Vp_serve.Server.max_pending = 0 })
+    (fun client ->
+      let o = Vp_serve.Client.submit client (table2_spec ()) in
+      match o.error with
+      | Some ("overloaded", _) -> ()
+      | Some (code, _) -> Alcotest.failf "expected overloaded, got %s" code
+      | None -> Alcotest.fail "admitted despite max_pending=0")
+
+let test_e2e_admission_quota () =
+  with_server
+    ~cfg:(fun c -> { c with Vp_serve.Server.client_quota = 0 })
+    (fun client ->
+      let o = Vp_serve.Client.submit client (table2_spec ()) in
+      match o.error with
+      | Some ("quota_exceeded", _) -> ()
+      | Some (code, _) -> Alcotest.failf "expected quota_exceeded, got %s" code
+      | None -> Alcotest.fail "admitted despite client_quota=0")
+
+let test_e2e_unknown_benchmark () =
+  with_server (fun client ->
+      let spec =
+        Vp_serve.Client.submit_spec ~experiments:[ "table2" ]
+          ~benchmarks:[ "nonesuch" ] ()
+      in
+      let o = Vp_serve.Client.submit client spec in
+      match o.error with
+      | Some ("unknown_benchmark", _) -> ()
+      | Some (code, _) ->
+          Alcotest.failf "expected unknown_benchmark, got %s" code
+      | None -> Alcotest.fail "unknown benchmark accepted")
+
+let test_e2e_timeout () =
+  with_server (fun client ->
+      (* a cold full-size request with a microscopic budget: the timeout
+         fires at the next serve-loop tick, long before the work is done *)
+      let spec =
+        Vp_serve.Client.submit_spec ~experiments:[ "table2" ]
+          ~benchmarks:[ "compress" ] ~seed:987 ~timeout_s:0.01 ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let o = Vp_serve.Client.submit client spec in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match o.error with
+      | Some ("timeout", _) -> ()
+      | Some (code, m) -> Alcotest.failf "expected timeout, got %s: %s" code m
+      | None -> Alcotest.fail "no timeout reported");
+      checkb "timeout reported promptly" true (elapsed < 5.0))
+
+let test_e2e_stats_and_ping () =
+  with_server (fun client ->
+      Vp_serve.Client.ping client;
+      ignore (Vp_serve.Client.submit client (table2_spec ()));
+      let stats = Vp_serve.Client.stats client in
+      let member path = J.member path stats in
+      List.iter
+        (fun k -> checkb k true (member k <> None))
+        [ "uptime_s"; "requests"; "latency"; "clients"; "graph"; "cache" ];
+      let requests = Option.get (member "requests") in
+      checki "completed" 1
+        (Option.value ~default:(-1) (J.int_member "completed" requests));
+      let latency = Option.get (member "latency") in
+      checki "latency count" 1
+        (Option.value ~default:(-1) (J.int_member "count" latency)))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vp_serve"
+    [
+      ( "jsonx",
+        [ tc "roundtrip" test_jsonx_roundtrip; tc "parse" test_jsonx_parse ] );
+      ( "decoder",
+        [
+          tc "split frames" test_decoder_split_frames;
+          tc "rejects oversized" test_decoder_rejects_oversized;
+          tc "rejects garbage" test_decoder_rejects_garbage;
+        ] );
+      ("protocol", [ tc "request validation" test_request_validation ]);
+      ( "daemon",
+        [
+          tc "byte identity" test_e2e_byte_identity;
+          tc "warm resubmit runs nothing" test_e2e_warm_resubmit_runs_nothing;
+          tc "overlap identical streams" test_e2e_overlap_identical_streams;
+          tc "admission: overloaded" test_e2e_admission_overloaded;
+          tc "admission: quota" test_e2e_admission_quota;
+          tc "unknown benchmark" test_e2e_unknown_benchmark;
+          tc "timeout" test_e2e_timeout;
+          tc "stats and ping" test_e2e_stats_and_ping;
+        ] );
+    ]
