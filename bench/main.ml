@@ -55,7 +55,12 @@ let () =
 let exec_context = Vp_exec.Cli.context exec_opts
 
 let emit_telemetry () =
-  let extra = [ ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ()) ] in
+  let extra =
+    [
+      ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ());
+      ("spec_eval", Vliw_vp.Pipeline.telemetry_json ());
+    ]
+  in
   match exec_opts.Vp_exec.Cli.telemetry with
   | Some _ -> Vp_exec.Cli.emit_telemetry ~extra exec_opts exec_context
   | None ->
@@ -169,6 +174,47 @@ let kernel_compiled =
     ~live_in:Vliw_vp.Pipeline.live_in
 
 let kernel_arena = Vp_engine.Compiled.Arena.create ()
+
+(* The densest speculated block the workload models offer — most
+   predictions, hence the widest distinct outcome set — compiled once for
+   the bit-parallel engine pair below. *)
+let bitset_compiled, bitset_vectors =
+  let best = ref None in
+  List.iter
+    (fun (model : Vp_workload.Spec_model.t) ->
+      let w = Vp_workload.Workload.generate model in
+      Array.iter
+        (fun (wb : Vp_ir.Program.weighted_block) ->
+          match
+            Vp_vspec.Transform.apply kernel_machine
+              ~rate:(fun _ -> Some 0.9)
+              wb.block
+          with
+          | Vp_vspec.Transform.Speculated sb -> (
+              let n = Array.length sb.Vp_vspec.Spec_block.predicted in
+              match !best with
+              | Some (m, _) when m >= n -> ()
+              | _ -> best := Some (n, sb))
+          | Vp_vspec.Transform.Unchanged _ -> ())
+        (Vp_ir.Program.blocks (Vp_workload.Workload.program w)))
+    Vp_workload.Spec_model.all;
+  let n, sb = match !best with Some b -> b | None -> assert false in
+  let reference =
+    Vp_engine.Reference.run sb.Vp_vspec.Spec_block.original_block
+      ~load_values:(fun id -> 1000 + (13 * id))
+      ~live_in:Vliw_vp.Pipeline.live_in
+  in
+  let compiled =
+    Vp_engine.Compiled.compile sb ~reference ~live_in:Vliw_vp.Pipeline.live_in
+  in
+  (* One full lane word of outcome vectors, distinct whenever the block
+     has >= 6 predictions (63 of the 2^n combinations). *)
+  let vectors =
+    Array.init 63 (fun i -> Array.init n (fun k -> (i lsr k) land 1 = 1))
+  in
+  (compiled, vectors)
+
+let bitset_lanes = Vp_engine.Compiled.Lanes.create ()
 
 (* --- serve daemon targets ---
 
@@ -365,6 +411,39 @@ let tests =
             ignore (Vp_profile.Value_profile.profile ~max_samples:500 w)
           in
           fun () -> Vp_profile.Value_profile.profile ~max_samples:500 w));
+    (* The same pair the profiler runs per load — one reusable pass over a
+       2000-value arena. Compare with kernel:predictor-pass, which builds
+       fresh states (including the FCM table) per call for a 512-value
+       slice. *)
+    Test.make ~name:"kernel:value-profile-pass"
+      (Staged.stage
+         (let values = Array.init 2000 (fun i -> i * 7 land 4095) in
+          let pass =
+            Vp_predict.Kernel.make_pass
+              ~kinds:
+                [
+                  Vp_predict.Predictor.Stride;
+                  Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+                ]
+          in
+          fun () ->
+            Vp_predict.Kernel.run_pass pass values ~off:0 ~len:2000));
+    (* The bit-parallel engine on a dense outcome set: 63 vectors of the
+       densest block, one full lane word (duplicates — a Monte-Carlo batch
+       shape — share a lane). kernel:bitset-scenarios-scalar runs the
+       identical set one scalar scenario at a time — the BENCH.json pair
+       records the word-parallel speedup over the per-vector path. *)
+    Test.make ~name:"kernel:bitset-scenarios"
+      (Staged.stage (fun () ->
+           Vp_engine.Compiled.run_bitset bitset_compiled bitset_lanes
+             ~vectors:bitset_vectors));
+    Test.make ~name:"kernel:bitset-scenarios-scalar"
+      (Staged.stage (fun () ->
+           Array.map
+             (fun outcomes ->
+               Vp_engine.Compiled.run_scenario bitset_compiled kernel_arena
+                 ~outcomes)
+             bitset_vectors));
   ]
 
 let run_bechamel () =

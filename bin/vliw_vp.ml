@@ -113,11 +113,16 @@ let make_exec (opts : Vp_exec.Cli.opts) =
   Vliw_vp.Spec_unit.set_enabled (not opts.no_spec_cache);
   Vp_exec.Cli.context ?progress:None opts
 
-(* The spec-unit stripe counters ride along in the telemetry JSON so a
-   [--telemetry] run shows cache behaviour next to the job-graph stats. *)
+(* The spec-unit stripe counters and the scenario-engine occupancy ride
+   along in the telemetry JSON so a [--telemetry] run shows cache and
+   bitset-lane behaviour next to the job-graph stats. *)
 let emit_telemetry opts exec =
   Vp_exec.Cli.emit_telemetry
-    ~extra:[ ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ()) ]
+    ~extra:
+      [
+        ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ());
+        ("spec_eval", Vliw_vp.Pipeline.telemetry_json ());
+      ]
     opts exec
 
 let with_setup f =

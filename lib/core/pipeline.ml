@@ -99,21 +99,51 @@ let prep_spec config workload (wb : Vp_ir.Program.weighted_block) sb =
     prep_recovery = recovery;
   }
 
+(* Scenario batches default to the bit-parallel lane engine; the scalar
+   scenario tree stays reachable for A/B and CI coverage through the
+   [VP_NO_BITSET] escape hatch (any non-empty value other than "0"). *)
+let bitset_enabled =
+  lazy
+    (match Sys.getenv_opt "VP_NO_BITSET" with
+    | Some v when v <> "" && v <> "0" -> false
+    | _ -> true)
+
+(* One lane arena per worker domain, reused across batch jobs — the lane
+   slabs are Bigarray-backed and sized to the largest block the domain has
+   seen, so steady-state batches allocate only their result records. *)
+let lanes_key = Domain.DLS.new_key Vp_engine.Compiled.Lanes.create
+
+let telemetry_json () =
+  let s = Vp_engine.Compiled.bitset_stats () in
+  let occupancy =
+    if s.Vp_engine.Compiled.words = 0 then 0.0
+    else
+      float_of_int s.Vp_engine.Compiled.vectors
+      /. float_of_int s.Vp_engine.Compiled.words
+  in
+  Printf.sprintf
+    "{\"bitset_enabled\": %b, \"bitset_words\": %d, \"bitset_vectors\": %d, \
+     \"vectors_per_word\": %.2f, \"scalar_fallbacks\": %d}"
+    (Lazy.force bitset_enabled)
+    s.Vp_engine.Compiled.words s.Vp_engine.Compiled.vectors occupancy
+    s.Vp_engine.Compiled.fallbacks
+
 (* Simulate a block's whole scenario set: compile the block once (through
    the spec-unit cache, so sweep points sharing the transform also share
-   the kernel), then replay the whole vector set as one scenario tree.
-   [Compiled.run_batch] checkpoints the machine at each check-prediction
-   branch point instead of replaying shared prefixes, and routes duplicate
-   vectors — Monte-Carlo collisions, and the all-correct / all-incorrect
-   vectors the best/worst columns need, which the enumerated scenario list
-   already contains — to one leaf simulation. *)
+   the kernel), then evaluate the whole vector set bit-parallel —
+   [Compiled.run_bitset] packs up to 63 vectors per machine word, so one
+   pass over the compiled block replaces the per-scenario replays.
+   Duplicate vectors — Monte-Carlo collisions, and the all-correct /
+   all-incorrect vectors the best/worst columns need, which the enumerated
+   scenario list already contains — just occupy extra lanes. Under
+   [VP_NO_BITSET] the batch runs through [Compiled.run_batch]'s scalar
+   scenario tree instead; both produce byte-identical results. *)
 let simulate_batch config prep =
   let compiled =
     Spec_unit.compiled ?ccb_capacity:config.Config.ccb_capacity
       ~cce_retire_width:config.Config.cce_retire_width ~live_in prep.prep_sb
       ~reference:prep.prep_reference
   in
-  let arena = Vp_engine.Compiled.Arena.create () in
   let n = Array.length prep.prep_rates in
   let draws = Array.of_list (List.map fst prep.prep_vectors) in
   let nvec = Array.length draws in
@@ -123,7 +153,14 @@ let simulate_batch config prep =
         Vp_engine.Scenario.all_correct n; Vp_engine.Scenario.all_incorrect n;
       |]
   in
-  let all = Vp_engine.Compiled.run_batch compiled arena ~vectors in
+  let all =
+    if Lazy.force bitset_enabled then
+      Vp_engine.Compiled.run_bitset compiled (Domain.DLS.get lanes_key)
+        ~vectors
+    else
+      let arena = Vp_engine.Compiled.Arena.create () in
+      Vp_engine.Compiled.run_batch compiled arena ~vectors
+  in
   let unique =
     let seen = Hashtbl.create 16 in
     Array.iter (fun v -> Hashtbl.replace seen v ()) draws;

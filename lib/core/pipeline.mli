@@ -103,6 +103,14 @@ val reference_of_block : t -> int -> Vp_engine.Reference.t
 (** Reference execution of block [index] with its first dynamic load
     values — the one the pipeline simulated against. *)
 
+val telemetry_json : unit -> string
+(** Scenario-evaluation counters as a JSON object, for the [--telemetry]
+    summary (the [spec_eval] section): whether the bitset engine is
+    enabled ([VP_NO_BITSET] routes batches back to the scalar scenario
+    tree), how many lane words ran, how many vectors they carried
+    ([vectors_per_word] is the resulting lane occupancy), and how many
+    deadlocks fell back to a scalar replay. *)
+
 val stats : t -> Vp_metrics.Summary.block_stats array
 (** Reduce to the metric layer's per-block records. *)
 

@@ -14,8 +14,12 @@
    moved profiling onto the unboxed kernels (results are byte-identical,
    but the bump retires any store entry written before the kernels were
    the path of record). Striping the tables changes no artifact content,
-   so it keeps the version. *)
-let version = 2
+   so it keeps the version.
+   3: the bit-parallel scenario engine became the batch path of record
+   (results are byte-identical again, but compiled artifacts written by a
+   v2 binary predate [insn_wait_bits] and the lane-deduplicated batch
+   semantics — recompute rather than trust a stale serialization). *)
+let version = 3
 
 let enabled_flag = Atomic.make true
 let set_enabled b = Atomic.set enabled_flag b

@@ -70,6 +70,7 @@ type t = {
   insn_ops : int array array;  (* static cycle -> op ids, ascending *)
   insn_spec : int array;  (* static cycle -> speculative ops in the insn *)
   insn_mask : int array array;  (* static cycle -> wait-mask words *)
+  insn_wait_bits : int array array;  (* static cycle -> wait-mask bit ids *)
   sync_words : int;
   nregs : int;
   reg_init : int array;  (* live-in value of each dense register *)
@@ -335,6 +336,10 @@ let compile ?(ccb_capacity = max_int) ?(cce_retire_width = 1)
     Array.init (Array.length insns) (fun c ->
         Vp_util.Bitset.to_words sb.wait_masks.(c))
   in
+  let insn_wait_bits =
+    Array.init (Array.length insns) (fun c ->
+        Array.of_list (Vp_util.Bitset.elements sb.wait_masks.(c)))
+  in
   let sync_words =
     Array.fold_left
       (fun acc m -> max acc (Array.length m))
@@ -393,6 +398,7 @@ let compile ?(ccb_capacity = max_int) ?(cce_retire_width = 1)
     insn_ops;
     insn_spec;
     insn_mask;
+    insn_wait_bits;
     sync_words;
     nregs = max 1 !nregs;
     reg_init;
@@ -987,4 +993,795 @@ let run_batch (t : t) (a : Arena.t) ~(vectors : Scenario.t array) :
        deadlocks; reproduce that exactly. *)
     Array.iter (function Some e -> raise e | None -> ()) failures;
     Array.map (function Some r -> r | None -> assert false) results
+  end
+
+(* --- Bitset mode: up to [Sys.int_size] outcome vectors per word --- *)
+
+(* Every per-scenario boolean in the scalar engine (a sync bit, a taint
+   flag, an outcome) becomes one machine word whose bit [i] tracks lane
+   [i]; every per-scenario integer (a register value, an event time, a CCB
+   slot) becomes a 64-stride row of a Bigarray so one pass over the
+   compiled block advances all lanes together. Lanes share the global
+   clock — the machine state of each lane is exactly the scalar engine's,
+   only the representation is shared — and a shared event calendar carries
+   a lane mask per entry, appended in each lane's own scalar order, so
+   per-lane insertion order (the only order the results can observe) is
+   preserved. Values are computed once per event when the source registers
+   agree across the participating lanes ([reg_div] tracks which lanes have
+   diverged from the shared [reg_base] value) and per lane otherwise. *)
+
+let max_lanes = Sys.int_size
+let lane_stride = 64
+
+let[@inline] full_mask n = if n >= Sys.int_size then -1 else (1 lsl n) - 1
+
+(* Index of the lowest set bit; [w] must be non-zero. *)
+let[@inline] ctz w =
+  let w = ref (w land -w) and n = ref 0 in
+  if !w land 0xFFFFFFFF = 0 then begin n := !n + 32; w := !w lsr 32 end;
+  if !w land 0xFFFF = 0 then begin n := !n + 16; w := !w lsr 16 end;
+  if !w land 0xFF = 0 then begin n := !n + 8; w := !w lsr 8 end;
+  if !w land 0xF = 0 then begin n := !n + 4; w := !w lsr 4 end;
+  if !w land 0x3 = 0 then begin n := !n + 2; w := !w lsr 2 end;
+  if !w land 0x1 = 0 then incr n;
+  !n
+
+module Lanes = struct
+  type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let ba_empty : ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+
+  type t = {
+    (* register file: [reg_base] is authoritative for every lane whose bit
+       is clear in [reg_div]; diverged lanes read their row of [reg_lane] *)
+    mutable reg_lane : ba;  (* nregs x stride *)
+    mutable reg_base : int array;
+    mutable reg_div : int array;
+    (* per (prediction, lane) / per (op, lane) integers *)
+    mutable ovb_known : ba;
+    mutable unresolved : ba;
+    mutable spec_known : ba;
+    mutable cce_time : ba;
+    mutable captured : ba;
+    (* per-scenario booleans, one lane word per index *)
+    mutable sync_lane : int array;  (* per sync bit *)
+    mutable tainted_w : int array;  (* per op *)
+    mutable sched_w : int array;  (* per op: correct_known_scheduled *)
+    mutable outcome_w : int array;  (* per prediction *)
+    (* per-lane CCB rings, lane-major: lane [i] slot [j] at [i*cap + j] *)
+    mutable ccb_cap : int;
+    mutable ccb_s : ba;
+    mutable ccb_t : ba;
+    ccb_head : int array;
+    ccb_len : int array;
+    ccb_high : int array;
+    (* per-lane store commits, lane-major *)
+    mutable st_cap : int;
+    mutable st_a : ba;
+    mutable st_v : ba;
+    st_n : int array;
+    (* shared event calendar: 4 ints (tag, a, b, lane mask) per event *)
+    mutable ev_buf : int array array;
+    mutable ev_len : int array;
+    pending : int array;
+    (* per-lane accounting *)
+    last_completion : int array;
+    vliw_last : int array;
+    stall : int array;
+    flushed : int array;
+    recomputed : int array;
+    next_insn : int array;
+    (* scalar replay arena for the deadlock fallback *)
+    scalar : Arena.t;
+  }
+
+  let create () =
+    {
+      reg_lane = ba_empty;
+      reg_base = [||];
+      reg_div = [||];
+      ovb_known = ba_empty;
+      unresolved = ba_empty;
+      spec_known = ba_empty;
+      cce_time = ba_empty;
+      captured = ba_empty;
+      sync_lane = [||];
+      tainted_w = [||];
+      sched_w = [||];
+      outcome_w = [||];
+      ccb_cap = 0;
+      ccb_s = ba_empty;
+      ccb_t = ba_empty;
+      ccb_head = Array.make lane_stride 0;
+      ccb_len = Array.make lane_stride 0;
+      ccb_high = Array.make lane_stride 0;
+      st_cap = 0;
+      st_a = ba_empty;
+      st_v = ba_empty;
+      st_n = Array.make lane_stride 0;
+      ev_buf = [||];
+      ev_len = [||];
+      pending = Array.make lane_stride 0;
+      last_completion = Array.make lane_stride 0;
+      vliw_last = Array.make lane_stride 0;
+      stall = Array.make lane_stride 0;
+      flushed = Array.make lane_stride 0;
+      recomputed = Array.make lane_stride 0;
+      next_insn = Array.make lane_stride 0;
+      scalar = Arena.create ();
+    }
+end
+
+module BA1 = Bigarray.Array1
+
+let ba_ints n (ba : Lanes.ba) : Lanes.ba =
+  if BA1.dim ba < n then BA1.create Bigarray.int Bigarray.c_layout n else ba
+
+(* Grow (never shrink) the lane arena to the compiled block's needs. *)
+let ensure_lanes (t : t) (la : Lanes.t) =
+  let ints n arr = if Array.length arr < n then Array.make n 0 else arr in
+  let rows n = n * lane_stride in
+  la.Lanes.reg_lane <- ba_ints (rows t.nregs) la.Lanes.reg_lane;
+  la.Lanes.reg_base <- ints t.nregs la.Lanes.reg_base;
+  la.Lanes.reg_div <- ints t.nregs la.Lanes.reg_div;
+  la.Lanes.ovb_known <- ba_ints (rows (max 1 t.num_preds)) la.Lanes.ovb_known;
+  let n = max 1 t.new_n in
+  la.Lanes.unresolved <- ba_ints (rows n) la.Lanes.unresolved;
+  la.Lanes.spec_known <- ba_ints (rows n) la.Lanes.spec_known;
+  la.Lanes.cce_time <- ba_ints (rows n) la.Lanes.cce_time;
+  la.Lanes.captured <- ba_ints (rows n) la.Lanes.captured;
+  la.Lanes.sync_lane <- ints (t.sync_words * Sys.int_size) la.Lanes.sync_lane;
+  la.Lanes.tainted_w <- ints n la.Lanes.tainted_w;
+  la.Lanes.sched_w <- ints n la.Lanes.sched_w;
+  la.Lanes.outcome_w <- ints (max 1 t.num_preds) la.Lanes.outcome_w;
+  if la.Lanes.ccb_cap < n then begin
+    la.Lanes.ccb_cap <- n;
+    la.Lanes.ccb_s <- BA1.create Bigarray.int Bigarray.c_layout (rows n);
+    la.Lanes.ccb_t <- BA1.create Bigarray.int Bigarray.c_layout (rows n)
+  end;
+  if la.Lanes.st_cap < n then begin
+    la.Lanes.st_cap <- n;
+    la.Lanes.st_a <- BA1.create Bigarray.int Bigarray.c_layout (rows n);
+    la.Lanes.st_v <- BA1.create Bigarray.int Bigarray.c_layout (rows n)
+  end;
+  if Array.length la.Lanes.ev_len < t.horizon then begin
+    la.Lanes.ev_len <- Array.make t.horizon 0;
+    la.Lanes.ev_buf <- Array.init t.horizon (fun _ -> Array.make 32 0)
+  end
+
+let[@inline] l_get (ba : Lanes.ba) slot lane =
+  BA1.unsafe_get ba ((slot * lane_stride) + lane)
+
+let[@inline] l_set (ba : Lanes.ba) slot lane v =
+  BA1.unsafe_set ba ((slot * lane_stride) + lane) v
+
+let[@inline] lreg_read (la : Lanes.t) r lane =
+  if la.Lanes.reg_div.(r) land (1 lsl lane) <> 0 then l_get la.Lanes.reg_lane r lane
+  else la.Lanes.reg_base.(r)
+
+(* Write value [v] to register [r] for every lane in [mask]. A full-width
+   write collapses the register back to uniform in O(1); so does a partial
+   write that agrees with the shared value. *)
+let lreg_write (la : Lanes.t) ~full r v mask =
+  if mask = full then begin
+    la.Lanes.reg_base.(r) <- v;
+    la.Lanes.reg_div.(r) <- 0
+  end
+  else if v = la.Lanes.reg_base.(r) then
+    la.Lanes.reg_div.(r) <- la.Lanes.reg_div.(r) land lnot mask
+  else begin
+    la.Lanes.reg_div.(r) <- la.Lanes.reg_div.(r) lor mask;
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      l_set la.Lanes.reg_lane r i v;
+      w := !w land (!w - 1)
+    done
+  end
+
+let[@inline] l_complete (la : Lanes.t) now mask =
+  let w = ref mask in
+  while !w <> 0 do
+    let i = ctz !w in
+    if now > la.Lanes.last_completion.(i) then la.Lanes.last_completion.(i) <- now;
+    w := !w land (!w - 1)
+  done
+
+let lev_append (t : t) (la : Lanes.t) time tag a b mask =
+  let bkt = time mod t.horizon in
+  let len = la.Lanes.ev_len.(bkt) in
+  let buf = la.Lanes.ev_buf.(bkt) in
+  let buf =
+    if (4 * len) + 4 > Array.length buf then begin
+      let nbuf = Array.make (max 32 (2 * Array.length buf)) 0 in
+      Array.blit buf 0 nbuf 0 (4 * len);
+      la.Lanes.ev_buf.(bkt) <- nbuf;
+      nbuf
+    end
+    else buf
+  in
+  buf.(4 * len) <- tag;
+  buf.((4 * len) + 1) <- a;
+  buf.((4 * len) + 2) <- b;
+  buf.((4 * len) + 3) <- mask;
+  la.Lanes.ev_len.(bkt) <- len + 1;
+  let w = ref mask in
+  while !w <> 0 do
+    let i = ctz !w in
+    la.Lanes.pending.(i) <- la.Lanes.pending.(i) + 1;
+    w := !w land (!w - 1)
+  done
+
+let lresolve_if_verified (t : t) (la : Lanes.t) now s mask =
+  let z = ref 0 in
+  let w = ref mask in
+  while !w <> 0 do
+    let i = ctz !w in
+    if l_get la.Lanes.unresolved s i = 0 then z := !z lor (1 lsl i);
+    w := !w land (!w - 1)
+  done;
+  let z = !z land lnot la.Lanes.tainted_w.(s) in
+  if z <> 0 then begin
+    let bit = t.ops.(s).sync_bit in
+    la.Lanes.sync_lane.(bit) <- la.Lanes.sync_lane.(bit) land lnot z;
+    let fresh = z land lnot la.Lanes.sched_w.(s) in
+    if fresh <> 0 then begin
+      la.Lanes.sched_w.(s) <- la.Lanes.sched_w.(s) lor fresh;
+      lev_append t la (now + 1) ev_spec_known s 0 fresh
+    end
+  end
+
+let lhandle_check_complete (t : t) (la : Lanes.t) ~full now k mask =
+  let p = t.preds.(k) in
+  la.Lanes.sync_lane.(p.p_sync_bit) <-
+    la.Lanes.sync_lane.(p.p_sync_bit) land lnot mask;
+  if p.check_executed then lreg_write la ~full p.check_dst p.check_value mask;
+  l_complete la now mask;
+  lev_append t la (now + 1) ev_ovb k 0 mask;
+  let wrong = mask land lnot la.Lanes.outcome_w.(k) in
+  let deps = p.dependents in
+  for j = 0 to Array.length deps - 1 do
+    let s = deps.(j) in
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      l_set la.Lanes.unresolved s i (l_get la.Lanes.unresolved s i - 1);
+      w := !w land (!w - 1)
+    done;
+    la.Lanes.tainted_w.(s) <- la.Lanes.tainted_w.(s) lor wrong;
+    lresolve_if_verified t la now s mask
+  done
+
+let lhandle_event (t : t) (la : Lanes.t) ~full now tag a b mask =
+  if tag = ev_write then begin
+    lreg_write la ~full a b mask;
+    l_complete la now mask
+  end
+  else if tag = ev_check then lhandle_check_complete t la ~full now a mask
+  else if tag = ev_ovb then begin
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      l_set la.Lanes.ovb_known a i now;
+      w := !w land (!w - 1)
+    done
+  end
+  else if tag = ev_spec_known then begin
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      l_set la.Lanes.spec_known a i now;
+      w := !w land (!w - 1)
+    done
+  end
+  else if tag = ev_cce then begin
+    let o = t.ops.(a) in
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      l_set la.Lanes.cce_time a i now;
+      w := !w land (!w - 1)
+    done;
+    la.Lanes.sync_lane.(o.sync_bit) <-
+      la.Lanes.sync_lane.(o.sync_bit) land lnot mask;
+    if o.writeback then lreg_write la ~full o.dst b mask;
+    l_complete la now mask
+  end
+  else begin
+    (* ev_store *)
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      let n = la.Lanes.st_n.(i) in
+      BA1.unsafe_set la.Lanes.st_a ((i * la.Lanes.st_cap) + n) a;
+      BA1.unsafe_set la.Lanes.st_v ((i * la.Lanes.st_cap) + n) b;
+      la.Lanes.st_n.(i) <- n + 1;
+      w := !w land (!w - 1)
+    done;
+    l_complete la now mask
+  end
+
+(* One CCE head step for lane [i]: [true] if the head was retired. *)
+let lcce_step (t : t) (la : Lanes.t) now i =
+  if la.Lanes.ccb_len.(i) = 0 then false
+  else begin
+    let base = i * la.Lanes.ccb_cap in
+    let head = la.Lanes.ccb_head.(i) in
+    let s = BA1.unsafe_get la.Lanes.ccb_s (base + head) in
+    let entry_time = BA1.unsafe_get la.Lanes.ccb_t (base + head) in
+    if entry_time >= now then false
+    else begin
+      let o = t.ops.(s) in
+      let bit = 1 lsl i in
+      let known = ref true and correct = ref true in
+      let os = o.osrcs in
+      for j = 0 to Array.length os - 1 do
+        if !known then
+          match os.(j) with
+          | O_verified -> ()
+          | O_pred k ->
+              if l_get la.Lanes.ovb_known k i <= now then begin
+                if la.Lanes.outcome_w.(k) land bit = 0 then correct := false
+              end
+              else known := false
+          | O_spec s' ->
+              if l_get la.Lanes.spec_known s' i <= now then ()
+              else if l_get la.Lanes.cce_time s' i <= now then correct := false
+              else known := false
+      done;
+      if not !known then false
+      else begin
+        let nh = head + 1 in
+        la.Lanes.ccb_head.(i) <- (if nh >= la.Lanes.ccb_cap then 0 else nh);
+        la.Lanes.ccb_len.(i) <- la.Lanes.ccb_len.(i) - 1;
+        if !correct then la.Lanes.flushed.(i) <- la.Lanes.flushed.(i) + 1
+        else begin
+          la.Lanes.recomputed.(i) <- la.Lanes.recomputed.(i) + 1;
+          let value =
+            if o.executed then o.result else l_get la.Lanes.captured s i
+          in
+          lev_append t la (now + o.lat) ev_cce s value bit
+        end;
+        true
+      end
+    end
+  end
+
+(* Lanes (within [mask]) whose guard is on, computed once when the guard
+   register is uniform across them. *)
+let lguard_mask (la : Lanes.t) (o : op) mask =
+  if o.guard < 0 then mask
+  else if la.Lanes.reg_div.(o.guard) land mask = 0 then
+    if la.Lanes.reg_base.(o.guard) <> 0 = o.guard_pol then mask else 0
+  else begin
+    let g = ref 0 in
+    let w = ref mask in
+    while !w <> 0 do
+      let i = ctz !w in
+      if lreg_read la o.guard i <> 0 = o.guard_pol then g := !g lor (1 lsl i);
+      w := !w land (!w - 1)
+    done;
+    !g
+  end
+
+(* Evaluate op [o]'s value and schedule its write for the lanes in [mask]:
+   once when every source register is uniform, per lane otherwise. *)
+let leval_and_schedule (t : t) (la : Lanes.t) now (o : op) mask =
+  let time = now + o.lat in
+  if o.is_load then begin
+    let r0 = o.srcs.(0) in
+    if la.Lanes.reg_div.(r0) land mask = 0 then
+      lev_append t la time ev_write o.dst
+        (Alu.load_result ~addr:la.Lanes.reg_base.(r0)
+           ~correct_addr:o.correct_addr ~correct_value:o.result)
+        mask
+    else begin
+      let w = ref mask in
+      while !w <> 0 do
+        let i = ctz !w in
+        lev_append t la time ev_write o.dst
+          (Alu.load_result ~addr:(lreg_read la r0 i)
+             ~correct_addr:o.correct_addr ~correct_value:o.result)
+          (1 lsl i);
+        w := !w land (!w - 1)
+      done
+    end
+  end
+  else if Array.length o.srcs = 1 then begin
+    let r0 = o.srcs.(0) in
+    if la.Lanes.reg_div.(r0) land mask = 0 then
+      lev_append t la time ev_write o.dst
+        (Alu.eval1 o.opcode la.Lanes.reg_base.(r0))
+        mask
+    else begin
+      let w = ref mask in
+      while !w <> 0 do
+        let i = ctz !w in
+        lev_append t la time ev_write o.dst
+          (Alu.eval1 o.opcode (lreg_read la r0 i))
+          (1 lsl i);
+        w := !w land (!w - 1)
+      done
+    end
+  end
+  else begin
+    let r0 = o.srcs.(0) and r1 = o.srcs.(1) in
+    if (la.Lanes.reg_div.(r0) lor la.Lanes.reg_div.(r1)) land mask = 0 then
+      lev_append t la time ev_write o.dst
+        (Alu.eval2 o.opcode la.Lanes.reg_base.(r0) la.Lanes.reg_base.(r1))
+        mask
+    else begin
+      let w = ref mask in
+      while !w <> 0 do
+        let i = ctz !w in
+        lev_append t la time ev_write o.dst
+          (Alu.eval2 o.opcode (lreg_read la r0 i) (lreg_read la r1 i))
+          (1 lsl i);
+        w := !w land (!w - 1)
+      done
+    end
+  end
+
+let lissue_instruction (t : t) (la : Lanes.t) now c mask =
+  let ids = t.insn_ops.(c) in
+  for j = 0 to Array.length ids - 1 do
+    let i = ids.(j) in
+    let o = t.ops.(i) in
+    let tc = now + o.lat in
+    let w = ref mask in
+    while !w <> 0 do
+      let l = ctz !w in
+      if tc > la.Lanes.last_completion.(l) then la.Lanes.last_completion.(l) <- tc;
+      if tc > la.Lanes.vliw_last.(l) then la.Lanes.vliw_last.(l) <- tc;
+      w := !w land (!w - 1)
+    done;
+    match o.action with
+    | A_ldpred { k; v_correct; v_wrong } ->
+        la.Lanes.sync_lane.(o.sync_bit) <-
+          la.Lanes.sync_lane.(o.sync_bit) lor mask;
+        let wc = mask land la.Lanes.outcome_w.(k) in
+        let ww = mask land lnot la.Lanes.outcome_w.(k) in
+        if wc <> 0 then lev_append t la tc ev_write o.dst v_correct wc;
+        if ww <> 0 then lev_append t la tc ev_write o.dst v_wrong ww
+    | A_check { k } -> lev_append t la tc ev_check k 0 mask
+    | A_spec ->
+        la.Lanes.sync_lane.(o.sync_bit) <-
+          la.Lanes.sync_lane.(o.sync_bit) lor mask;
+        (if la.Lanes.reg_div.(o.dst) land mask = 0 then begin
+           let v = la.Lanes.reg_base.(o.dst) in
+           let w = ref mask in
+           while !w <> 0 do
+             let l = ctz !w in
+             l_set la.Lanes.captured i l v;
+             w := !w land (!w - 1)
+           done
+         end
+         else begin
+           let w = ref mask in
+           while !w <> 0 do
+             let l = ctz !w in
+             l_set la.Lanes.captured i l (lreg_read la o.dst l);
+             w := !w land (!w - 1)
+           done
+         end);
+        let g = lguard_mask la o mask in
+        if g <> 0 then leval_and_schedule t la now o g;
+        let w = ref mask in
+        while !w <> 0 do
+          let l = ctz !w in
+          let len = la.Lanes.ccb_len.(l) in
+          let tail = la.Lanes.ccb_head.(l) + len in
+          let tail = if tail >= la.Lanes.ccb_cap then tail - la.Lanes.ccb_cap else tail in
+          BA1.unsafe_set la.Lanes.ccb_s ((l * la.Lanes.ccb_cap) + tail) i;
+          BA1.unsafe_set la.Lanes.ccb_t ((l * la.Lanes.ccb_cap) + tail) now;
+          la.Lanes.ccb_len.(l) <- len + 1;
+          if len + 1 > la.Lanes.ccb_high.(l) then la.Lanes.ccb_high.(l) <- len + 1;
+          w := !w land (!w - 1)
+        done;
+        lresolve_if_verified t la now i mask
+    | A_store ->
+        let g = lguard_mask la o mask in
+        if g <> 0 then begin
+          let r0 = o.srcs.(0) and r1 = o.srcs.(1) in
+          if (la.Lanes.reg_div.(r0) lor la.Lanes.reg_div.(r1)) land g = 0 then
+            lev_append t la tc ev_store la.Lanes.reg_base.(r0)
+              la.Lanes.reg_base.(r1) g
+          else begin
+            let w = ref g in
+            while !w <> 0 do
+              let l = ctz !w in
+              lev_append t la tc ev_store (lreg_read la r0 l) (lreg_read la r1 l)
+                (1 lsl l);
+              w := !w land (!w - 1)
+            done
+          end
+        end
+    | A_branch -> ()
+    | A_load ->
+        let g = lguard_mask la o mask in
+        if g <> 0 then lev_append t la tc ev_write o.dst o.result g
+    | A_alu ->
+        let g = lguard_mask la o mask in
+        if g <> 0 then leval_and_schedule t la now o g
+  done
+
+(* Reset lanes [0..n-1] only: state beyond lane [n-1] is never read (every
+   hot-loop mask is bounded by [full_mask n]), and a short word would
+   otherwise pay the full 64-lane row width on every run. *)
+let reset_lanes (t : t) (la : Lanes.t) n =
+  Array.blit t.reg_init 0 la.Lanes.reg_base 0 t.nregs;
+  Array.fill la.Lanes.reg_div 0 t.nregs 0;
+  Array.fill la.Lanes.sync_lane 0 (Array.length la.Lanes.sync_lane) 0;
+  Array.fill la.Lanes.tainted_w 0 t.new_n 0;
+  Array.fill la.Lanes.sched_w 0 t.new_n 0;
+  for s = 0 to t.num_preds - 1 do
+    let base = s * lane_stride in
+    for idx = base to base + n - 1 do
+      BA1.unsafe_set la.Lanes.ovb_known idx max_int
+    done
+  done;
+  for s = 0 to t.new_n - 1 do
+    let u = t.unresolved_init.(s) in
+    let base = s * lane_stride in
+    for idx = base to base + n - 1 do
+      BA1.unsafe_set la.Lanes.unresolved idx u;
+      BA1.unsafe_set la.Lanes.spec_known idx max_int;
+      BA1.unsafe_set la.Lanes.cce_time idx max_int;
+      BA1.unsafe_set la.Lanes.captured idx 0
+    done
+  done;
+  Array.fill la.Lanes.ccb_head 0 n 0;
+  Array.fill la.Lanes.ccb_len 0 n 0;
+  Array.fill la.Lanes.ccb_high 0 n 0;
+  Array.fill la.Lanes.st_n 0 n 0;
+  Array.fill la.Lanes.ev_len 0 (Array.length la.Lanes.ev_len) 0;
+  Array.fill la.Lanes.pending 0 n 0;
+  Array.fill la.Lanes.last_completion 0 n 0;
+  Array.fill la.Lanes.vliw_last 0 n 0;
+  Array.fill la.Lanes.stall 0 n 0;
+  Array.fill la.Lanes.flushed 0 n 0;
+  Array.fill la.Lanes.recomputed 0 n 0;
+  Array.fill la.Lanes.next_insn 0 n 0
+
+(* Simulate lanes 0..n-1 against vectors.(off..off+n-1) to completion.
+   Returns the word of lanes still live past the deadlock limit (0 on
+   success); their per-lane state is exactly what the scalar engine would
+   hold at that cycle, so a scalar replay of any of them deadlocks too. *)
+let run_lanes (t : t) (la : Lanes.t) (vectors : Scenario.t array) off n =
+  let full = full_mask n in
+  for k = 0 to t.num_preds - 1 do
+    let w = ref 0 in
+    for i = 0 to n - 1 do
+      if vectors.(off + i).(k) then w := !w lor (1 lsl i)
+    done;
+    la.Lanes.outcome_w.(k) <- !w
+  done;
+  reset_lanes t la n;
+  let num_insns = Array.length t.insn_ops in
+  let active = ref (if num_insns > 0 then full else 0) in
+  let failed = ref 0 in
+  let now = ref 0 in
+  while !active <> 0 do
+    if !now > t.limit then begin
+      failed := !active;
+      active := 0
+    end
+    else begin
+      (* 1. Completions scheduled for this cycle (insertion order). *)
+      let b = !now mod t.horizon in
+      let n_ev = la.Lanes.ev_len.(b) in
+      if n_ev > 0 then begin
+        let buf = la.Lanes.ev_buf.(b) in
+        for j = 0 to n_ev - 1 do
+          let m = buf.((4 * j) + 3) in
+          let w = ref m in
+          while !w <> 0 do
+            let i = ctz !w in
+            la.Lanes.pending.(i) <- la.Lanes.pending.(i) - 1;
+            w := !w land (!w - 1)
+          done;
+          lhandle_event t la ~full !now
+            buf.(4 * j)
+            buf.((4 * j) + 1)
+            buf.((4 * j) + 2)
+            m
+        done;
+        la.Lanes.ev_len.(b) <- 0
+      end;
+      (* 2. CCE: up to [cce_retire_width] head retirements per lane. *)
+      let w = ref !active in
+      while !w <> 0 do
+        let i = ctz !w in
+        if la.Lanes.ccb_len.(i) > 0 then begin
+          let budget = ref t.cce_retire_width in
+          while !budget > 0 && lcce_step t la !now i do
+            decr budget
+          done
+        end;
+        w := !w land (!w - 1)
+      done;
+      (* 3. VLIW issue, frontier-grouped: lanes whose timing has diverged
+         sit at different static cycles; group the frontier by instruction
+         and issue each group with one pass over its ops. *)
+      let rem = ref 0 in
+      let w = ref !active in
+      while !w <> 0 do
+        let i = ctz !w in
+        if la.Lanes.next_insn.(i) < num_insns then rem := !rem lor (1 lsl i);
+        w := !w land (!w - 1)
+      done;
+      while !rem <> 0 do
+        let c = la.Lanes.next_insn.(ctz !rem) in
+        let members = ref 0 in
+        let w2 = ref !rem in
+        while !w2 <> 0 do
+          let i = ctz !w2 in
+          if la.Lanes.next_insn.(i) = c then members := !members lor (1 lsl i);
+          w2 := !w2 land (!w2 - 1)
+        done;
+        rem := !rem land lnot !members;
+        let stalled = ref 0 in
+        let wb = t.insn_wait_bits.(c) in
+        for j = 0 to Array.length wb - 1 do
+          stalled := !stalled lor la.Lanes.sync_lane.(wb.(j))
+        done;
+        let go0 = !members land lnot !stalled in
+        let go = ref go0 in
+        let spec_n = t.insn_spec.(c) in
+        if spec_n > 0 && go0 <> 0 then begin
+          go := 0;
+          let w3 = ref go0 in
+          while !w3 <> 0 do
+            let i = ctz !w3 in
+            if la.Lanes.ccb_len.(i) + spec_n <= t.ccb_capacity then
+              go := !go lor (1 lsl i);
+            w3 := !w3 land (!w3 - 1)
+          done
+        end;
+        let no_go = !members land lnot !go in
+        let w4 = ref no_go in
+        while !w4 <> 0 do
+          let i = ctz !w4 in
+          la.Lanes.stall.(i) <- la.Lanes.stall.(i) + 1;
+          w4 := !w4 land (!w4 - 1)
+        done;
+        if !go <> 0 then begin
+          lissue_instruction t la !now c !go;
+          let w5 = ref !go in
+          while !w5 <> 0 do
+            let i = ctz !w5 in
+            la.Lanes.next_insn.(i) <- c + 1;
+            w5 := !w5 land (!w5 - 1)
+          done
+        end
+      done;
+      incr now;
+      (* 4. Retire lanes with no instructions, events or CCB work left. *)
+      let w6 = ref !active in
+      while !w6 <> 0 do
+        let i = ctz !w6 in
+        if
+          la.Lanes.next_insn.(i) >= num_insns
+          && la.Lanes.pending.(i) = 0
+          && la.Lanes.ccb_len.(i) = 0
+        then active := !active land lnot (1 lsl i);
+        w6 := !w6 land (!w6 - 1)
+      done
+    end
+  done;
+  !failed
+
+let extract_lane (t : t) (la : Lanes.t) ~outcomes lane : Dual_engine.result =
+  let final_regs = ref [] in
+  for j = Array.length t.final_pairs - 1 downto 0 do
+    let r, idx = t.final_pairs.(j) in
+    final_regs := (r, lreg_read la idx lane) :: !final_regs
+  done;
+  let stores = ref [] in
+  for j = la.Lanes.st_n.(lane) - 1 downto 0 do
+    stores :=
+      ( BA1.unsafe_get la.Lanes.st_a ((lane * la.Lanes.st_cap) + j),
+        BA1.unsafe_get la.Lanes.st_v ((lane * la.Lanes.st_cap) + j) )
+      :: !stores
+  done;
+  {
+    Dual_engine.cycles = la.Lanes.last_completion.(lane);
+    vliw_cycles = la.Lanes.vliw_last.(lane);
+    stall_cycles = la.Lanes.stall.(lane);
+    flushed = la.Lanes.flushed.(lane);
+    recomputed = la.Lanes.recomputed.(lane);
+    ccb_high_water = la.Lanes.ccb_high.(lane);
+    mispredicted = t.num_preds - Scenario.count_correct outcomes;
+    final_regs = !final_regs;
+    stores = !stores;
+  }
+
+(* Occupancy counters for the telemetry surface: how many lane words ran,
+   how many vectors they carried, and how often a deadlock forced a scalar
+   replay. Atomics: batches run concurrently across domains. *)
+let bitset_words_ctr = Atomic.make 0
+let bitset_vectors_ctr = Atomic.make 0
+let bitset_fallbacks_ctr = Atomic.make 0
+
+type bitset_stats = { words : int; vectors : int; fallbacks : int }
+
+let bitset_stats () =
+  {
+    words = Atomic.get bitset_words_ctr;
+    vectors = Atomic.get bitset_vectors_ctr;
+    fallbacks = Atomic.get bitset_fallbacks_ctr;
+  }
+
+let run_bitset (t : t) (la : Lanes.t) ~(vectors : Scenario.t array) :
+    Dual_engine.result array =
+  Array.iter
+    (fun v ->
+      if Array.length v <> t.num_preds then
+        invalid_arg "Compiled.run_bitset: outcomes length mismatch")
+    vectors;
+  let nvec = Array.length vectors in
+  if nvec = 0 then [||]
+  else begin
+    ensure_lanes t la;
+    (* Collapse duplicate outcome vectors to one lane each: Monte-Carlo
+       batches repeat vectors freely, and the engine is deterministic, so
+       duplicates share a result record (as [run_batch] shares a leaf).
+       First-occurrence order is preserved, which keeps the deadlock
+       order: the lowest failed lane is still the first failing vector in
+       input order, duplicates of an earlier failure failing no earlier. *)
+    let tbl = Hashtbl.create (2 * nvec) in
+    let u_of = Array.make nvec 0 in
+    let nu = ref 0 in
+    for i = 0 to nvec - 1 do
+      match Hashtbl.find_opt tbl vectors.(i) with
+      | Some u -> u_of.(i) <- u
+      | None ->
+          Hashtbl.add tbl vectors.(i) !nu;
+          u_of.(i) <- !nu;
+          incr nu
+    done;
+    let nu = !nu in
+    let uvecs = Array.make nu vectors.(0) in
+    for i = nvec - 1 downto 0 do
+      uvecs.(u_of.(i)) <- vectors.(i)
+    done;
+    (* Word parallelism cannot amortize the per-word lane setup (state
+       reset, uniformity tracking, masked calendar) below ~3 live lanes;
+       single- and two-prediction blocks dedup to 2-4 vectors where the
+       scalar engine's epoch-stamped reset is strictly cheaper. Replay
+       those through the scalar engine, in input order so a deadlock
+       surfaces on the same vector either way. *)
+    if nu <= 2 then begin
+      let u_res =
+        Array.map (fun v -> run_scenario t la.Lanes.scalar ~outcomes:v) uvecs
+      in
+      Array.init nvec (fun i -> u_res.(u_of.(i)))
+    end
+    else begin
+    let u_res = Array.make nu None in
+    let off = ref 0 in
+    while !off < nu do
+      let n = min max_lanes (nu - !off) in
+      let failed = run_lanes t la uvecs !off n in
+      Atomic.incr bitset_words_ctr;
+      ignore (Atomic.fetch_and_add bitset_vectors_ctr n);
+      if failed <> 0 then begin
+        (* Some lane passed the deadlock limit while still live; the lane
+           state is the scalar state, so replaying the first such vector
+           (input order) through the scalar engine raises the byte-
+           identical [Deadlock] a [run_batch] / per-vector loop would. *)
+        Atomic.incr bitset_fallbacks_ctr;
+        match run_scenario t la.Lanes.scalar ~outcomes:uvecs.(!off + ctz failed) with
+        | _ -> assert false (* the scalar oracle must deadlock identically *)
+        | exception (Dual_engine.Deadlock _ as e) -> raise e
+      end;
+      for i = 0 to n - 1 do
+        u_res.(!off + i) <-
+          Some (extract_lane t la ~outcomes:uvecs.(!off + i) i)
+      done;
+      off := !off + n
+    done;
+    Array.init nvec (fun i ->
+        match u_res.(u_of.(i)) with Some r -> r | None -> assert false)
+    end
   end

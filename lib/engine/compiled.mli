@@ -74,3 +74,41 @@ val run_batch : t -> Arena.t -> vectors:Scenario.t array -> Dual_engine.result a
     If any vector deadlocks, raises the [Dual_engine.Deadlock] of the
     {e first such vector in input order} — exactly what a per-vector loop
     over [run_scenario] would raise. *)
+
+(** Reusable lane state for {!run_bitset}: per-lane register rows, event
+    times and CCB rings backed by unboxed [Bigarray] slabs, plus one
+    machine word per boolean engine field (sync bits, taint, outcomes)
+    whose bit [i] tracks lane [i]. Grown on demand like {!Arena.t}; not
+    thread-safe — use one per domain. *)
+module Lanes : sig
+  type t
+
+  val create : unit -> t
+end
+
+val run_bitset :
+  t -> Lanes.t -> vectors:Scenario.t array -> Dual_engine.result array
+(** [run_bitset t lanes ~vectors] simulates the whole outcome-vector set
+    bit-parallel — up to [Sys.int_size] (63) vectors advance per machine
+    word, each engine-state bit-field becoming one word over the lanes —
+    and returns results in input order, each structurally equal to
+    [run_scenario t arena ~outcomes:vectors.(i)]. Sets larger than one
+    word are chunked internally. Lanes whose timing diverges (a sync bit
+    cleared early on a correct outcome, late via the CCE on a wrong one)
+    fall out of lock-step safely: each lane carries its own instruction
+    pointer and the issue stage groups the frontier per static cycle.
+
+    The hot loop allocates nothing — lane state lives in preallocated
+    [Bigarray] slabs — and the only per-call allocations are the result
+    records and their lists.
+
+    If any vector deadlocks, the affected lane is replayed through the
+    scalar engine so the raised [Dual_engine.Deadlock] is byte-identical
+    to what {!run_batch} or a per-vector loop would raise, first vector in
+    input order. *)
+
+type bitset_stats = { words : int; vectors : int; fallbacks : int }
+(** Process-wide occupancy counters for {!run_bitset}: lane words run,
+    vectors they carried, and deadlock-driven scalar replays. *)
+
+val bitset_stats : unit -> bitset_stats

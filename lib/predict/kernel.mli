@@ -36,3 +36,34 @@ val hit_counts : kinds:Predictor.kind list -> int array -> off:int -> len:int ->
 val accuracies : kinds:Predictor.kind list -> int array -> off:int -> len:int -> float array
 (** [hit_counts] normalized by [len]; all zeros when [len = 0] (matching
     {!Predictor.accuracy} on the empty list). *)
+
+type pass
+(** A reusable scoring pass: preallocated kernel states plus per-kind hit
+    accumulators. [hit_counts] allocates fresh states per call — for an
+    FCM kind that is a whole prediction table per profiled load; a pass
+    pays that once and replays any number of value ranges with no
+    per-run allocation. For the paper's profiling pair
+    ([Stride; Fcm {order = 2; _}]) the run is a fused loop over an
+    epoch-stamped FCM table, so the per-run reset is a counter bump
+    rather than a table clear. *)
+
+val make_pass : kinds:Predictor.kind list -> pass
+(** Build a pass for [kinds], in order. Raises [Invalid_argument] on the
+    same parameter ranges as {!create}. *)
+
+val run_pass : pass -> int array -> off:int -> len:int -> unit
+(** Score [values.(off .. off+len-1)] against every kind, resetting all
+    state first; results are read back with {!pass_hit} / {!pass_rate}.
+    Equals {!hit_counts} with the same kinds and range. The hot loop
+    allocates no minor words. Raises [Invalid_argument] if the range is
+    out of bounds. *)
+
+val pass_size : pass -> int
+(** Number of kinds the pass scores. *)
+
+val pass_hit : pass -> int -> int
+(** Hit count of kind [j] (in [make_pass] order) from the last
+    {!run_pass}. Raises [Invalid_argument] if [j] is out of range. *)
+
+val pass_rate : pass -> int -> float
+(** {!pass_hit} normalized by the last run's [len]; [0.] when [len = 0]. *)

@@ -15,43 +15,62 @@ type block_profile = {
 
 type t = { blocks : block_profile array }
 
+(* One preallocated kernel pass per (domain, kinds): profiling replays
+   every load of a run through the same states instead of building fresh
+   ones — for the FCM kind, a whole prediction table — per load. The cache
+   is domain-local, so concurrent pipeline jobs never share mutable
+   kernel state. *)
+let pass_cache :
+    (Vp_predict.Predictor.kind list, Vp_predict.Kernel.pass) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let pass_for kinds =
+  let cache = Domain.DLS.get pass_cache in
+  match Hashtbl.find_opt cache kinds with
+  | Some p -> p
+  | None ->
+      let p = Vp_predict.Kernel.make_pass ~kinds in
+      Hashtbl.add cache kinds p;
+      p
+
 let stream_rates workload ~stream ~samples ~kinds =
   (* The fast lane: one pass of the unboxed kernels over the stream's
      arena instead of a closure predictor per kind over a fresh list. *)
   let arena = Vp_workload.Workload.arena workload stream ~min_len:samples in
-  Vp_predict.Kernel.accuracies ~kinds arena ~off:0 ~len:samples
+  let pass = pass_for kinds in
+  Vp_predict.Kernel.run_pass pass arena ~off:0 ~len:samples;
+  Array.init (Vp_predict.Kernel.pass_size pass)
+    (Vp_predict.Kernel.pass_rate pass)
 
-let profile_load ~predictors ~rates:rates_of ~max_samples ~executions
-    (op : Vp_ir.Operation.t) =
+(* [stride_idx] / [fcm_idx] are the positions of the first [Stride] /
+   first [Fcm _] kind in the predictor list (-1 when absent), computed
+   once per profile instead of a list walk per load. *)
+let first_index pred kinds =
+  let rec go i = function
+    | [] -> -1
+    | k :: rest -> if pred k then i else go (i + 1) rest
+  in
+  go 0 kinds
+
+let profile_load ~predictors ~stride_idx ~fcm_idx ~rates:rates_of
+    ~max_samples ~executions (op : Vp_ir.Operation.t) =
   let stream =
     match op.stream with
     | Some s -> s
     | None -> invalid_arg "Value_profile: load without a stream"
   in
   let samples = max 1 (min executions max_samples) in
-  let rates =
-    Array.to_list (rates_of ~stream ~samples ~kinds:predictors)
-  in
-  (* The (kind, rate) pairing is built once; the per-field lookups below
-     walk it instead of re-walking the two lists per queried kind. *)
-  let by_kind = List.map2 (fun k r -> (k, r)) predictors rates in
-  let rate_of kind =
-    Option.value ~default:0.0 (List.assoc_opt kind by_kind)
-  in
+  let rates = rates_of ~stream ~samples ~kinds:predictors in
+  let best = ref 0.0 in
+  Array.iter (fun r -> if r > !best then best := r) rates;
   {
     op_id = op.id;
     stream;
     samples;
-    stride_rate = rate_of Vp_predict.Predictor.Stride;
-    fcm_rate =
-      (match
-         List.find_opt
-           (function Vp_predict.Predictor.Fcm _ -> true | _ -> false)
-           predictors
-       with
-      | Some k -> rate_of k
-      | None -> 0.0);
-    rate = List.fold_left Float.max 0.0 rates;
+    stride_rate = (if stride_idx >= 0 then rates.(stride_idx) else 0.0);
+    fcm_rate = (if fcm_idx >= 0 then rates.(fcm_idx) else 0.0);
+    rate = !best;
   }
 
 let paper_predictors ~fcm_order ~fcm_table_bits =
@@ -77,13 +96,21 @@ let profile ?program ?predictors ?rates ?(max_samples = 2000) ?(fcm_order = 2)
         fun ~stream ~samples ~kinds ->
           stream_rates workload ~stream ~samples ~kinds
   in
+  let stride_idx =
+    first_index (( = ) Vp_predict.Predictor.Stride) predictors
+  in
+  let fcm_idx =
+    first_index
+      (function Vp_predict.Predictor.Fcm _ -> true | _ -> false)
+      predictors
+  in
   let blocks =
     Array.mapi
       (fun i (wb : Vp_ir.Program.weighted_block) ->
         let loads =
           List.map
-            (profile_load ~predictors ~rates ~max_samples
-               ~executions:wb.count)
+            (profile_load ~predictors ~stride_idx ~fcm_idx ~rates
+               ~max_samples ~executions:wb.count)
             (Vp_ir.Block.loads wb.block)
         in
         { block_index = i; executions = wb.count; loads })

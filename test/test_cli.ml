@@ -79,6 +79,34 @@ let test_valid_command_still_works () =
   checki "exit 0" 0 code;
   checki "no stderr" 0 (List.length (nonempty_lines err))
 
+let contains_sub line expect_sub =
+  let n = String.length expect_sub and m = String.length line in
+  let rec go i =
+    i + n <= m && (String.sub line i n = expect_sub || go (i + 1))
+  in
+  go 0
+
+(* [--telemetry -] must report the bit-parallel scenario engine's lane
+   occupancy in a [spec_eval] section: whether the engine is on, how many
+   lane words ran and how many vectors they carried, and how many
+   deadlock lanes fell back to a scalar replay. *)
+let test_telemetry_spec_eval () =
+  let code, err = run [ "table2"; "--telemetry"; "-" ] in
+  checki "exit 0" 0 code;
+  List.iter
+    (fun field ->
+      checkb
+        (Printf.sprintf "telemetry has %S" field)
+        true (contains_sub err field))
+    [
+      "\"spec_eval\"";
+      "\"bitset_enabled\"";
+      "\"bitset_words\"";
+      "\"bitset_vectors\"";
+      "\"vectors_per_word\"";
+      "\"scalar_fallbacks\"";
+    ]
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "vliw_vp_cli"
@@ -91,4 +119,5 @@ let () =
           tc "bad flag value" test_bad_flag_value;
           tc "valid command unaffected" test_valid_command_still_works;
         ] );
+      ("telemetry", [ tc "spec_eval section" test_telemetry_spec_eval ]);
     ]

@@ -264,6 +264,134 @@ let prop_batch_matches_per_vector =
           = under (fun () ->
                 Vp_engine.Compiled.run_batch compiled arena ~vectors))
 
+(* --- Bitset lanes vs per-vector replay --- *)
+
+(* One shared lane arena, like [arena]: every block must reset what it
+   uses. *)
+let lanes = Vp_engine.Compiled.Lanes.create ()
+
+(* [run_bitset] must be observationally identical to mapping
+   [run_scenario] over the vectors — including duplicated vectors, lanes
+   whose timing diverges, and the per-vector-loop deadlock behaviour
+   (first deadlocking vector in input order wins, with the same message). *)
+let check_bitset ?ccb_capacity ?cce_retire_width label sb vectors =
+  let reference = reference_of sb in
+  let compiled =
+    Vp_engine.Compiled.compile ?ccb_capacity ?cce_retire_width sb ~reference
+      ~live_in
+  in
+  let under f =
+    try Ok (f ())
+    with Vp_engine.Dual_engine.Deadlock m -> Error (`Deadlock m)
+  in
+  let seq =
+    under (fun () ->
+        Array.map
+          (fun outcomes ->
+            Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+          vectors)
+  in
+  let bitset =
+    under (fun () -> Vp_engine.Compiled.run_bitset compiled lanes ~vectors)
+  in
+  Alcotest.check
+    (Alcotest.result
+       (Alcotest.array result)
+       (Alcotest.of_pp (fun ppf (`Deadlock m) ->
+            Format.fprintf ppf "deadlock: %s" m)))
+    label seq bitset
+
+let test_bitset_equivalence () =
+  let rng = Vp_util.Rng.create 44 in
+  List.iter
+    (fun (sb : Vp_vspec.Spec_block.t) ->
+      let n = Array.length sb.predicted in
+      check_bitset
+        (Vp_ir.Block.label sb.block)
+        sb
+        (batch_vectors n ~rng))
+    (Lazy.force speculated_blocks)
+
+let test_bitset_equivalence_constrained () =
+  let rng = Vp_util.Rng.create 45 in
+  List.iteri
+    (fun i (sb : Vp_vspec.Spec_block.t) ->
+      let n = Array.length sb.predicted in
+      if i mod 2 = 0 then
+        check_bitset ~ccb_capacity:1
+          (Printf.sprintf "%s ccb=1" (Vp_ir.Block.label sb.block))
+          sb
+          (batch_vectors n ~rng)
+      else
+        check_bitset ~ccb_capacity:2 ~cce_retire_width:2
+          (Printf.sprintf "%s ccb=2 w=2" (Vp_ir.Block.label sb.block))
+          sb
+          (batch_vectors n ~rng))
+    (Lazy.force speculated_blocks)
+
+(* Chunking boundaries: a word holds 63 lanes, so 62 / 63 / 64 / 127
+   vectors cross the one-word and two-word edges. Built by cycling a base
+   set, so chunks carry duplicates and mixed outcomes. *)
+let test_bitset_chunking () =
+  let sb =
+    match Lazy.force speculated_blocks with
+    | sb :: _ -> sb
+    | [] -> Alcotest.fail "no speculated blocks"
+  in
+  let n = Array.length sb.predicted in
+  let rng = Vp_util.Rng.create 46 in
+  let base =
+    Array.init 16 (fun _ -> Array.init n (fun _ -> Vp_util.Rng.bool rng))
+  in
+  List.iter
+    (fun count ->
+      let vectors = Array.init count (fun i -> base.(i mod 16)) in
+      check_bitset (Printf.sprintf "chunking %d vectors" count) sb vectors)
+    [ 1; 62; 63; 64; 127 ]
+
+let prop_bitset_matches_per_vector =
+  QCheck.Test.make ~count:60
+    ~name:"run_bitset = per-vector run_scenario on arbitrary blocks"
+    QCheck.(quad small_int (int_bound 7) small_int (int_bound 2))
+    (fun (seed, pick, oseed, shape) ->
+      let models = Vp_workload.Spec_model.all in
+      let model = List.nth models (pick mod List.length models) in
+      let block, _ =
+        Vp_workload.Block_gen.generate model
+          ~rng:(Vp_util.Rng.create seed)
+          ~stream_base:0 ~label:"bitset-equiv"
+      in
+      match Vp_vspec.Transform.apply machine ~rate:(rate_all 0.8) block with
+      | Vp_vspec.Transform.Unchanged _ -> true
+      | Vp_vspec.Transform.Speculated sb ->
+          let ccb_capacity, cce_retire_width =
+            match shape with 0 -> (None, None) | 1 -> (Some 1, None)
+            | _ -> (Some 2, Some 2)
+          in
+          let reference = reference_of sb in
+          let compiled =
+            Vp_engine.Compiled.compile ?ccb_capacity ?cce_retire_width sb
+              ~reference ~live_in
+          in
+          let n = Vp_engine.Compiled.num_predictions compiled in
+          let rng = Vp_util.Rng.create oseed in
+          let vectors = batch_vectors n ~rng in
+          let under f =
+            try Ok (f ())
+            with Vp_engine.Dual_engine.Deadlock m -> Error m
+          in
+          under (fun () ->
+              Array.map
+                (fun outcomes ->
+                  Vp_engine.Compiled.run_scenario compiled arena ~outcomes)
+                vectors)
+          = under (fun () ->
+                Vp_engine.Compiled.run_bitset compiled lanes ~vectors)
+          && under (fun () ->
+                 Vp_engine.Compiled.run_batch compiled arena ~vectors)
+             = under (fun () ->
+                   Vp_engine.Compiled.run_bitset compiled lanes ~vectors))
+
 (* --- Allocation regression --- *)
 
 (* The arena path's whole point: a scenario run allocates only the result
@@ -289,6 +417,34 @@ let test_arena_allocation () =
     (Printf.sprintf "per-run allocation %.0f words < 2048" per_run)
     true (per_run < 2048.0)
 
+(* The bitset hot loop itself must not allocate: lane state lives in
+   Bigarray slabs, so a run's minor words are the result records and their
+   lists only. 63 lanes of the worked example extract 63 records; the
+   budget is generous per record but fails loudly on any per-cycle or
+   per-lane structure creeping in. *)
+let test_bitset_allocation () =
+  let sb = Vliw_vp.Example.spec () in
+  let reference = Vliw_vp.Example.reference () in
+  let compiled = Vp_engine.Compiled.compile sb ~reference ~live_in in
+  let lanes = Vp_engine.Compiled.Lanes.create () in
+  let vectors =
+    Array.init 63 (fun i -> [| i land 1 = 0; i land 2 = 0 |])
+  in
+  for _ = 1 to 3 do
+    ignore (Vp_engine.Compiled.run_bitset compiled lanes ~vectors)
+  done;
+  let runs = 100 in
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (Vp_engine.Compiled.run_bitset compiled lanes ~vectors)
+  done;
+  let per_lane =
+    (Gc.minor_words () -. before) /. float_of_int (runs * Array.length vectors)
+  in
+  checkb
+    (Printf.sprintf "per-lane allocation %.0f words < 256" per_lane)
+    true (per_lane < 256.0)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "kernel_equiv"
@@ -308,5 +464,17 @@ let () =
             test_batch_equivalence_constrained;
           QCheck_alcotest.to_alcotest prop_batch_matches_per_vector;
         ] );
-      ("allocation", [ tc "arena path stays flat" test_arena_allocation ]);
+      ( "bitset-lanes",
+        [
+          tc "bitset = per-vector on random blocks" test_bitset_equivalence;
+          tc "bitset = per-vector, tight CCB / wide CCE"
+            test_bitset_equivalence_constrained;
+          tc "chunking boundaries 62/63/64/127" test_bitset_chunking;
+          QCheck_alcotest.to_alcotest prop_bitset_matches_per_vector;
+        ] );
+      ( "allocation",
+        [
+          tc "arena path stays flat" test_arena_allocation;
+          tc "bitset lanes stay flat" test_bitset_allocation;
+        ] );
     ]

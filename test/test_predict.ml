@@ -366,6 +366,90 @@ let prop_kernel_matches_closures =
         kinds
         (Array.to_list kernel))
 
+(* A reusable pass must equal the per-call driver on every run — both the
+   fused Stride+FCM(order 2) fast path and the generic path — including
+   after arbitrary reuse: the first run's state (in particular stale FCM
+   table slots, which the fused path retires by epoch rather than by
+   clearing) must never leak into the second run's counts. Small value
+   ranges and tiny tables maximize slot collisions. *)
+let prop_pass_matches_hit_counts =
+  QCheck.Test.make ~name:"reusable pass matches hit_counts across reuse"
+    ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 80) (int_range (-50) 50))
+        (list_of_size Gen.(int_range 0 80) (int_range (-50) 50))
+        (pair bool (pair (int_range 1 3) (int_range 4 6))))
+    (fun (first, second, (fused, (order, table_bits))) ->
+      let kinds =
+        if fused then
+          [
+            Vp_predict.Predictor.Stride;
+            Vp_predict.Predictor.Fcm { order = 2; table_bits };
+          ]
+        else
+          [
+            Vp_predict.Predictor.Last_value;
+            Vp_predict.Predictor.Stride;
+            Vp_predict.Predictor.Fcm { order; table_bits };
+            Vp_predict.Predictor.Dfcm { order; table_bits };
+          ]
+      in
+      let pass = Vp_predict.Kernel.make_pass ~kinds in
+      let matches values =
+        let arr = Array.of_list values in
+        let len = Array.length arr in
+        let expect = Vp_predict.Kernel.hit_counts ~kinds arr ~off:0 ~len in
+        Vp_predict.Kernel.run_pass pass arr ~off:0 ~len;
+        Array.length expect = Vp_predict.Kernel.pass_size pass
+        && Array.for_all Fun.id
+             (Array.mapi
+                (fun j h -> Vp_predict.Kernel.pass_hit pass j = h)
+                expect)
+      in
+      matches first && matches second)
+
+(* Deterministic version of the staleness case: the first run teaches the
+   FCM that history (1, 2) is followed by 3; the second run over the same
+   values must behave as a fresh table (no prediction at that history),
+   so a pass that fails to retire old slots reports a phantom hit. *)
+let test_pass_epoch_isolation () =
+  let kinds =
+    [
+      Vp_predict.Predictor.Stride;
+      Vp_predict.Predictor.Fcm { order = 2; table_bits = 4 };
+    ]
+  in
+  let pass = Vp_predict.Kernel.make_pass ~kinds in
+  let values = [| 1; 2; 3 |] in
+  Vp_predict.Kernel.run_pass pass values ~off:0 ~len:3;
+  Alcotest.(check int) "fcm hits, first run" 0 (Vp_predict.Kernel.pass_hit pass 1);
+  Vp_predict.Kernel.run_pass pass values ~off:0 ~len:3;
+  Alcotest.(check int) "fcm hits, reused run" 0 (Vp_predict.Kernel.pass_hit pass 1)
+
+(* The profiling hot loop must not allocate: a warm pass replaying a
+   2000-value arena should cost ~0 minor words per run. *)
+let test_pass_allocation () =
+  let kinds =
+    [
+      Vp_predict.Predictor.Stride;
+      Vp_predict.Predictor.Fcm { order = 2; table_bits = 12 };
+    ]
+  in
+  let pass = Vp_predict.Kernel.make_pass ~kinds in
+  let values = Array.init 2000 (fun i -> i * 7 land 1023) in
+  for _ = 1 to 3 do
+    Vp_predict.Kernel.run_pass pass values ~off:0 ~len:2000
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100 do
+    Vp_predict.Kernel.run_pass pass values ~off:0 ~len:2000
+  done;
+  let per_run = (Gc.minor_words () -. before) /. 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pass allocates ~0 minor words per run (got %.1f)" per_run)
+    true (per_run < 64.0)
+
 let test_kernel_validation () =
   checkb "bad order rejected" true
     (try
@@ -434,11 +518,17 @@ let () =
           tc "confidence gating" test_vp_table_confidence_gating;
           tc "validation and utilization" test_vp_table_validation_and_utilization;
         ] );
-      ("kernel", [ tc "validation" test_kernel_validation ]);
+      ( "kernel",
+        [
+          tc "validation" test_kernel_validation;
+          tc "pass epoch isolation" test_pass_epoch_isolation;
+          tc "pass allocation" test_pass_allocation;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_stride_perfect_on_arithmetic;
           QCheck_alcotest.to_alcotest prop_accuracy_bounds;
           QCheck_alcotest.to_alcotest prop_kernel_matches_closures;
+          QCheck_alcotest.to_alcotest prop_pass_matches_hit_counts;
         ] );
     ]
