@@ -28,7 +28,7 @@ check: build test
 # committed BENCH.json (kernel:* fails on a >25% regression; the
 # sweep-level targets — table4, ablation:threshold, sweep:ablation-warm,
 # hardware-validation, sweep:suite-graph, serve:warm-submit,
-# serve:overlap-dedup — on a >40% one).
+# serve:overlap-dedup, serve:sharded-cold — on a >40% one).
 bench:
 	dune exec bench/main.exe -- --json BENCH.json
 
@@ -37,23 +37,29 @@ bench-smoke:
 	dune exec bench/check.exe -- BENCH.json BENCH.smoke.json
 
 # End-to-end smoke of the serve daemon: capture a direct `vliw_vp all`
-# run, start the daemon over the same (now warm) cache, and drive it with
-# the load generator — which asserts every client's stream is
-# byte-identical to the direct capture, a repeat wave executes zero new
-# jobs, and a burst past the client quota is rejected with structured
-# errors. The daemon's final telemetry lands in serve-telemetry.json.
+# run, then drive the sharded daemon with the load generator at two shard
+# counts (--workers 1 and --workers 4) over the same (now warm) on-disk
+# cache. serve_load asserts every client's stream is byte-identical to
+# the direct capture, a repeat wave executes zero new payload jobs, and a
+# burst past the client quota is rejected with structured errors. All
+# scratch state (sockets, cache, stats, telemetry) stays under _serve_ci/.
 serve-smoke: build
 	rm -rf _serve_ci && mkdir -p _serve_ci
 	./_build/default/bin/vliw_vp.exe all --jobs 4 --cache-dir _serve_ci/cache \
 	  > _serve_ci/expected.txt
-	@( ./_build/default/bin/vliw_vp.exe serve --socket _serve_ci/d.sock \
-	     --jobs 4 --client-quota 4 --cache-dir _serve_ci/cache \
-	     --stats-file _serve_ci/stats.json & \
-	   trap 'kill $$! 2>/dev/null' EXIT; \
-	   for i in $$(seq 1 100); do [ -S _serve_ci/d.sock ] && break; sleep 0.1; done; \
-	   ./_build/default/bench/serve_load.exe --socket _serve_ci/d.sock --smoke \
-	     --expect _serve_ci/expected.txt --telemetry-out serve-telemetry.json \
-	     --shutdown && wait $$! )
+	@for w in 1 4; do \
+	  echo "== serve-smoke: --workers $$w =="; \
+	  ( ./_build/default/bin/vliw_vp.exe serve --socket _serve_ci/d$$w.sock \
+	      --workers $$w --jobs 1 --client-quota 4 --node-cache 256 \
+	      --cache-dir _serve_ci/cache \
+	      --stats-file _serve_ci/stats-w$$w.json & \
+	    trap 'kill $$! 2>/dev/null' EXIT; \
+	    for i in $$(seq 1 100); do [ -S _serve_ci/d$$w.sock ] && break; sleep 0.1; done; \
+	    ./_build/default/bench/serve_load.exe --socket _serve_ci/d$$w.sock --smoke \
+	      --expect _serve_ci/expected.txt \
+	      --telemetry-out _serve_ci/serve-telemetry-w$$w.json \
+	      --shutdown && wait $$! ) || exit 1; \
+	done
 
 clean:
 	dune clean

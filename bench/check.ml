@@ -13,12 +13,13 @@
      tight threshold (default 25%);
    - the sweep-level targets ([table4], [ablation:threshold],
      [sweep:ablation-warm], [hardware-validation], [sweep:suite-graph],
-     [serve:warm-submit], [serve:overlap-dedup]) — millisecond-scale
-     end-to-end experiment runs (the serve pair: daemon round-trips over a
-     Unix socket) whose run-to-run noise (allocator state, spec-unit cache
-     warmth, scheduler jitter) is larger, gated at a loose threshold
-     (default 40%) that still catches an accidental suite-executor, cache
-     or serving-envelope regression.
+     [serve:warm-submit], [serve:overlap-dedup], [serve:sharded-cold]) —
+     millisecond-scale end-to-end experiment runs (the serve trio: daemon
+     round-trips over a Unix socket; the sharded one against a forked
+     [--workers N] subprocess) whose run-to-run noise (allocator state,
+     spec-unit cache warmth, scheduler jitter) is larger, gated at a loose
+     threshold (default 40%) that still catches an accidental
+     suite-executor, cache or serving-envelope regression.
 
    The remaining experiment-level targets are reported for information
    only.
@@ -107,6 +108,7 @@ let sweep_gated =
     "sweep:suite-graph";
     "serve:warm-submit";
     "serve:overlap-dedup";
+    "serve:sharded-cold";
   ]
 
 let is_sweep name =

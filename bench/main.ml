@@ -269,6 +269,86 @@ let shutdown_serve () =
     ignore (Domain.join srv)
   end
 
+(* --- sharded serve target ---
+
+   The sharded daemon forks its shards, which is illegal once this
+   process has spawned a domain (the in-process daemon above owns one),
+   so [serve:sharded-cold] drives the real binary as a subprocess over a
+   temp socket. Every timed sample submits a fresh-seed reduced table2 —
+   a render key nobody has seen — so it prices the uncached end-to-end
+   sharded path: supervisor admission, routing over the shard socketpair,
+   one real simulation on the shard's resident graph, the store write and
+   the streamed result frames. The daemon runs with a capped node cache
+   so the resident shards stay bounded across the sample stream. *)
+let sharded_workers = 2
+
+let sharded_state =
+  lazy
+    (let tmp = Filename.get_temp_dir_name () in
+     let tag = Printf.sprintf "vliw-vp-bench-sharded-%d" (Unix.getpid ()) in
+     let sock = Filename.concat tmp (tag ^ ".sock") in
+     let cache = Filename.concat tmp (tag ^ ".cache") in
+     let bin =
+       Filename.concat
+         (Filename.dirname Sys.executable_name)
+         "../bin/vliw_vp.exe"
+     in
+     let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+     let pid =
+       Unix.create_process bin
+         [|
+           bin; "serve"; "--workers"; string_of_int sharded_workers;
+           "--node-cache"; "64"; "--socket"; sock; "--cache-dir"; cache;
+           "-j"; "1"; "--timeout"; "120";
+         |]
+         Unix.stdin null null
+     in
+     Unix.close null;
+     let deadline = Unix.gettimeofday () +. 30.0 in
+     let rec wait () =
+       match Vp_serve.Client.connect sock with
+       | client -> client
+       | exception
+           Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+         when Unix.gettimeofday () < deadline ->
+           (match Unix.waitpid [ Unix.WNOHANG ] pid with
+           | 0, _ -> ()
+           | _ -> failwith "bench: sharded daemon exited during startup");
+           Unix.sleepf 0.05;
+           wait ()
+     in
+     (wait (), pid))
+
+let sharded_seed = ref 0
+
+let sharded_cold_submit () =
+  incr sharded_seed;
+  let client, _ = Lazy.force sharded_state in
+  let outcome =
+    Vp_serve.Client.submit client
+      (Vp_serve.Client.submit_spec ~experiments:[ "table2" ]
+         ~benchmarks:[ "compress" ]
+         ~seed:(1_000_000 + !sharded_seed)
+         ~overrides:
+           [
+             ("trace_length", Vp_serve.Jsonx.Int 2_000);
+             ("monte_carlo_draws", Vp_serve.Jsonx.Int 16);
+           ]
+         ())
+  in
+  match outcome.Vp_serve.Client.error with
+  | None -> ()
+  | Some (code, msg) ->
+      failwith (Printf.sprintf "bench: sharded submit failed: %s: %s" code msg)
+
+let shutdown_sharded () =
+  if Lazy.is_val sharded_state then begin
+    let client, pid = Lazy.force sharded_state in
+    Vp_serve.Client.shutdown client;
+    Vp_serve.Client.close client;
+    ignore (Unix.waitpid [] pid)
+  end
+
 let tests =
   let open Bechamel in
   [
@@ -349,6 +429,12 @@ let tests =
                    (Vp_serve.Client.submit_spec ~experiments:[ "table2" ] ()))
            in
            List.iter (fun id -> ignore (Vp_serve.Client.await client ~id)) ids));
+    (* One cold submit against the sharded daemon (a real [--workers N]
+       subprocess): every sample uses a fresh seed, so the graph, the
+       spec-unit cache and the on-disk store all miss — the number is the
+       full sharded serving envelope plus one reduced-config simulation,
+       never a dedup hit. *)
+    Test.make ~name:"serve:sharded-cold" (Staged.stage sharded_cold_submit);
     (* Core kernels. *)
     Test.make ~name:"kernel:list-schedule"
       (Staged.stage (fun () ->
@@ -484,6 +570,7 @@ let run_bechamel () =
       "sweep:suite-graph";
       "serve:warm-submit";
       "serve:overlap-dedup";
+      "serve:sharded-cold";
     ]
   in
   let is_gated t =
@@ -526,6 +613,9 @@ let run_bechamel () =
   in
   let serve_rows =
     ignore (serve_client ());
+    (* Untimed warm-up: pays the sharded daemon's fork/startup and the
+       first connection, so no timed sample does. *)
+    sharded_cold_submit ();
     run serve_cfg serve_tests
   in
   let rows = main_rows @ serve_rows in
@@ -590,6 +680,7 @@ let () =
      candidate. *)
   let rows = run_bechamel () in
   shutdown_serve ();
+  shutdown_sharded ();
   Option.iter (fun path -> write_json path rows) json_path;
   if not smoke then begin
     full_run ();

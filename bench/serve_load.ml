@@ -23,7 +23,8 @@ module Jsonx = Vp_serve.Jsonx
 let usage =
   "serve_load --socket PATH [--clients N] [--requests N] [--experiments \
    a,b,c] [--expect FILE] [--telemetry-out FILE] [--seed N] \
-   [--saturate-burst N] [--no-saturate] [--smoke] [--shutdown]"
+   [--distinct-seeds] [--saturate-burst N] [--no-saturate] [--smoke] \
+   [--shutdown]"
 
 let socket = ref ""
 let clients = ref 4
@@ -32,6 +33,7 @@ let experiments = ref [ "all" ]
 let expect = ref None
 let telemetry_out = ref None
 let seed = ref 42
+let distinct_seeds = ref false
 let saturate_burst = ref 12
 let no_saturate = ref false
 let smoke = ref false
@@ -64,6 +66,9 @@ let () =
         telemetry_out := Some v;
         go rest
     | "--seed" :: v :: rest -> int_arg "--seed" v (fun n -> seed := n; go rest)
+    | "--distinct-seeds" :: rest ->
+        distinct_seeds := true;
+        go rest
     | "--saturate-burst" :: v :: rest ->
         int_arg "--saturate-burst" v (fun n -> saturate_burst := n; go rest)
     | "--no-saturate" :: rest ->
@@ -93,20 +98,32 @@ let check name ok detail =
     Printf.printf "serve_load: FAIL %-28s %s\n%!" name detail
   end
 
-let spec () =
-  Vp_serve.Client.submit_spec ~experiments:!experiments ~seed:!seed ()
+(* With [--distinct-seeds] every (client, request) slot gets its own seed
+   — genuinely distinct cold work, which is what a throughput measurement
+   of the sharded daemon needs (identical requests would collapse into
+   one job by design). Slot 0 keeps the base seed so the [--expect]
+   comparison still holds. The second wave reuses the same seeds, so the
+   warm-wave zero-new-jobs check is unchanged. *)
+let slot_seed ~client ~request =
+  if !distinct_seeds then !seed + ((client * !requests) + request) else !seed
+
+let spec ~client ~request =
+  Vp_serve.Client.submit_spec ~experiments:!experiments
+    ~seed:(slot_seed ~client ~request)
+    ()
 
 (* One wave: [clients] domains, each its own connection, each pipelining
    [requests] submits. Returns the per-request digests (all must agree)
    and one full stream for the [--expect] comparison. *)
 let run_wave () =
-  let worker () =
+  let worker client () =
     let c = Vp_serve.Client.connect !socket in
     Fun.protect
       ~finally:(fun () -> Vp_serve.Client.close c)
       (fun () ->
         let ids =
-          List.init !requests (fun _ -> Vp_serve.Client.submit_async c (spec ()))
+          List.init !requests (fun request ->
+              Vp_serve.Client.submit_async c (spec ~client ~request))
         in
         List.map
           (fun id ->
@@ -121,7 +138,7 @@ let run_wave () =
                 Ok bytes)
           ids)
   in
-  let domains = List.init !clients (fun _ -> Domain.spawn worker) in
+  let domains = List.init !clients (fun client -> Domain.spawn (worker client)) in
   List.concat_map Domain.join domains
 
 let stream_digest = function Ok bytes -> Digest.string bytes | Error _ -> ""
@@ -145,8 +162,12 @@ let () =
   in
   Vp_serve.Client.ping mon;
 
-  (* Wave 1: concurrent identical requests from every client. *)
+  (* Wave 1: concurrent cold requests from every client — identical by
+     default (dedup proof), per-slot seeds under [--distinct-seeds]
+     (throughput measurement). *)
+  let w1_t0 = Unix.gettimeofday () in
   let wave1 = run_wave () in
+  let wave1_s = Unix.gettimeofday () -. w1_t0 in
   let stats1 = Vp_serve.Client.stats mon in
   let q1, d1, dedup1 = graph_counters stats1 in
 
@@ -157,12 +178,23 @@ let () =
     | e :: _ -> e);
 
   let digests = List.map stream_digest wave1 in
-  let all_equal =
-    match digests with [] -> false | d :: rest -> List.for_all (( = ) d) rest
-  in
-  check "byte-identical-streams" all_equal
-    (Printf.sprintf "%d streams, %d distinct" (List.length digests)
-       (List.length (List.sort_uniq compare digests)));
+  let distinct_count = List.length (List.sort_uniq compare digests) in
+  (if !distinct_seeds then
+     (* distinct work must actually be distinct, or the throughput
+        number would be measuring dedup *)
+     check "distinct-streams"
+       (distinct_count = List.length digests)
+       (Printf.sprintf "%d streams, %d distinct" (List.length digests)
+          distinct_count)
+   else
+     let all_equal =
+       match digests with
+       | [] -> false
+       | d :: rest -> List.for_all (( = ) d) rest
+     in
+     check "byte-identical-streams" all_equal
+       (Printf.sprintf "%d streams, %d distinct" (List.length digests)
+          distinct_count));
 
   (match (!expect, wave1) with
   | Some path, Ok bytes :: _ ->
@@ -181,7 +213,9 @@ let () =
   (* Wave 2: identical load against the now-warm daemon. The graph job
      counters must not move — that is the "payload simulations run once"
      guarantee, observable from outside the process. *)
+  let w2_t0 = Unix.gettimeofday () in
   let wave2 = run_wave () in
+  let wave2_s = Unix.gettimeofday () -. w2_t0 in
   let stats2 = Vp_serve.Client.stats mon in
   let q2, d2, dedup2 = graph_counters stats2 in
   check "wave2-no-errors"
@@ -190,11 +224,20 @@ let () =
   check "warm-wave-zero-new-jobs" (q2 = q1 && d2 = d1)
     (Printf.sprintf "jobs %d -> %d (dedup %d -> %d)" q1 q2 dedup1 dedup2);
   let wave2_digests = List.map stream_digest wave2 in
+  (* slot-for-slot: each warm stream must match its cold counterpart
+     (with identical requests this is the old all-equal check; with
+     distinct seeds it is the per-seed identity) *)
   check "warm-streams-identical"
-    (match (digests, wave2_digests) with
-    | d :: _, w :: rest -> d = w && List.for_all (( = ) w) rest
-    | _ -> false)
+    (digests <> [] && wave2_digests = digests)
     (Printf.sprintf "%d warm streams" (List.length wave2_digests));
+  let reqs = List.length wave1 in
+  Printf.printf
+    "serve_load: wave1(cold) %.2fs (%.2f req/s), wave2(warm) %.2fs (%.2f \
+     req/s)\n%!"
+    wave1_s
+    (if wave1_s > 0.0 then float_of_int reqs /. wave1_s else 0.0)
+    wave2_s
+    (if wave2_s > 0.0 then float_of_int reqs /. wave2_s else 0.0);
 
   (* Saturation: one connection, a burst of submits larger than any sane
      per-client quota, sent in a single write so the daemon sees them in

@@ -662,9 +662,34 @@ let serve_cmd =
     let doc = "Snapshot period in seconds for $(b,--stats-file)." in
     Arg.(value & opt float 10.0 & info [ "stats-every" ] ~docv:"SECONDS" ~doc)
   in
-  let run socket port max_pending client_quota timeout stats_file stats_every
-      exec_opts =
-    let exec = make_exec exec_opts in
+  let workers_t =
+    let doc =
+      "Shard worker processes, each with its own resident job graph and \
+       $(b,--jobs) worker domains, routed by artifact identity over the \
+       shared on-disk store. 0 runs the daemon in-process (one shared \
+       graph, no forking). The default derives from the machine's core \
+       count divided by $(b,--jobs)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let node_cache_t =
+    let doc =
+      "Cap on resident graph nodes (per shard): completed nodes beyond the \
+       cap are evicted coldest-first; their results stay in the on-disk \
+       store. 0 (the default) is unbounded."
+    in
+    Arg.(value & opt int 0 & info [ "node-cache" ] ~docv:"N" ~doc)
+  in
+  let run socket port workers node_cache max_pending client_quota timeout
+      stats_file stats_every exec_opts =
+    let workers =
+      match workers with
+      | Some w -> max 0 w
+      | None ->
+          max 1
+            (Domain.recommended_domain_count ()
+            / max 1 exec_opts.Vp_exec.Cli.jobs)
+    in
     let cfg =
       {
         Vp_serve.Server.socket_path = socket;
@@ -675,16 +700,28 @@ let serve_cmd =
         max_frame = Vp_serve.Protocol.default_max_frame;
         stats_file;
         stats_every_s = stats_every;
+        node_cap = (if node_cache <= 0 then None else Some node_cache);
       }
     in
+    let on_ready () =
+      Printf.eprintf "vliw_vp serve: listening on %s%s (%s)\n%!" socket
+        (match port with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "")
+        (if workers = 0 then "in-process"
+         else Printf.sprintf "%d shard%s" workers
+             (if workers = 1 then "" else "s"))
+    in
     match
-      Vp_serve.Server.run
-        ~on_ready:(fun () ->
-          Printf.eprintf "vliw_vp serve: listening on %s%s\n%!" socket
-            (match port with
-            | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
-            | None -> ""))
-        ~exec cfg
+      if workers = 0 then
+        (* reference path: one process, one shared graph *)
+        Vp_serve.Server.run ~on_ready ~exec:(make_exec exec_opts) cfg
+      else
+        (* the execution contexts are built inside the forked shards; the
+           supervisor itself never touches the simulator *)
+        Vp_serve.Supervisor.run ~on_ready
+          ~make_exec:(fun () -> make_exec exec_opts)
+          ~workers cfg
     with
     | _final_stats -> `Ok ()
     | exception Failure m -> `Error (false, m)
@@ -697,12 +734,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the resident simulation daemon: accept submit requests over a \
-          Unix (and optionally TCP) socket, execute them on one shared job \
-          graph with in-flight dedup and a warm cache, stream results back")
+          Unix (and optionally TCP) socket, execute them on sharded resident \
+          job graphs with in-flight dedup and a shared warm cache, stream \
+          results back")
     Term.(
       ret
-        (const run $ socket_t $ port_t $ max_pending_t $ quota_t $ timeout_t
-       $ stats_file_t $ stats_every_t $ exec_opts_t))
+        (const run $ socket_t $ port_t $ workers_t $ node_cache_t
+       $ max_pending_t $ quota_t $ timeout_t $ stats_file_t $ stats_every_t
+       $ exec_opts_t))
 
 let submit_cmd =
   let experiments_t =

@@ -1003,6 +1003,37 @@ let suite_ablate g ~config model settings =
     leaves
     (fun () -> List.map G.value leaves)
 
+(* Like [suite_ablate], but each point carries a fully-applied
+   configuration instead of a tweak closure. This is the serve daemon's
+   custom-sweep entry: wire requests describe points as config overrides,
+   which may differ between two sweeps that happen to reuse the same
+   labels — so unlike the named ablations, the reducer is keyed by the
+   full [(label, config)] point list, and each leaf by its applied
+   config. Leaves are store-cached, so two sweeps sharing a point share
+   its simulation. *)
+let suite_config_sweep g ~config model points =
+  let leaves =
+    List.map
+      (fun (setting, pconfig) ->
+        G.node g
+          ~label:("sweep:" ^ setting)
+          ~group:"sweep"
+          ~key:(job_key ~kind:"config-sweep" ~config:pconfig (model, setting))
+          (fun _ctx ->
+            let s = run_benchmark ~config:pconfig model in
+            {
+              setting;
+              t2_best = s.fractions.best;
+              t3_best = s.ratios.best;
+              t3_worst = s.ratios.worst;
+              speedup = Vp_metrics.Summary.expected_speedup s.stats;
+              speculated = s.speculated_blocks;
+            }))
+      points
+  in
+  reduce g ~kind:"config-sweep" ~config ~payload:(model, points) leaves
+    (fun () -> List.map G.value leaves)
+
 let ablate ?(config = Config.default) ?(exec = Vp_exec.Context.sequential)
     model settings =
   run_graph exec (fun g -> suite_ablate g ~config model settings)
@@ -1139,4 +1170,5 @@ module Suite = struct
   let stability = suite_stability
   let recovery_sensitivity = suite_recovery_sensitivity
   let ablate = suite_ablate
+  let config_sweep = suite_config_sweep
 end

@@ -350,4 +350,17 @@ module Suite : sig
     Vp_workload.Spec_model.t ->
     (string * (Config.t -> Config.t)) list ->
     ablation_point list Vp_exec.Graph.node
+
+  val config_sweep :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    Vp_workload.Spec_model.t ->
+    (string * Config.t) list ->
+    ablation_point list Vp_exec.Graph.node
+  (** Like {!ablate}, but each point is a fully-applied configuration
+      rather than a tweak of the base one — the serve daemon's
+      custom-sweep entry. Point labels need only be unique within one
+      sweep: leaves and the reducer are keyed by the applied configs, so
+      two sweeps reusing a label never collide, while sweeps sharing a
+      point share its (store-cached) simulation. *)
 end

@@ -35,6 +35,9 @@ type nd = {
   mutable crit : int;  (** critical-path priority: 1 + longest dependent chain *)
   mutable waiters : ((Obj.t, string) result -> unit) list;
       (** completion subscriptions; fired once, outside the graph mutex *)
+  mutable stamp : int;
+      (** LRU recency: the graph tick of the last declaration (dedup hit)
+          or completion that touched this node *)
 }
 
 type 'a node = nd
@@ -117,6 +120,9 @@ type t = {
   mutable resident : unit Domain.t array option;
       (** worker domains of {!start_workers}, while running *)
   mutable stop : bool;  (** resident workers: exit once nothing is runnable *)
+  mutable node_cap : int option;
+      (** LRU bound on retained nodes; [None] keeps every node forever *)
+  mutable tick : int;  (** monotonic recency clock for [nd.stamp] *)
 }
 
 let create ctx =
@@ -133,10 +139,75 @@ let create ctx =
     fired = [];
     resident = None;
     stop = false;
+    node_cap = None;
+    tick = 0;
   }
 
 let context t = t.ctx
 let size t = t.next_id
+let retained t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.by_key)
+let set_node_cap t cap = Mutex.protect t.mutex (fun () -> t.node_cap <- cap)
+
+let touch t n =
+  t.tick <- t.tick + 1;
+  n.stamp <- t.tick
+
+(* --- node-cache LRU; graph mutex held --- *)
+
+(* Eviction drops the graph's references to a cold, successfully finished
+   node: its [by_key] entry plus the edge lists tying it to neighbours.
+   Dependents read leaf values through direct [nd] refs captured in their
+   payload closures, never through [by_key], so unlinking is purely a
+   memory/identity decision — the record stays alive exactly as long as
+   some closure still needs it. A later declaration of the same key
+   recomputes; store-cached leaves answer from the warm on-disk store, so
+   eviction trades a cheap re-render for bounded resident memory. Only
+   [Finished (Ok _)] nodes with no waiters are candidates: failed nodes
+   keep their sticky diagnostic for [await], unfinished nodes are live
+   work. Removing a finished node's edges cannot hide a dependency cycle:
+   a finished node's dep edges are frozen, and every path through it
+   reaches only other finished nodes — never a node that could still gain
+   an edge. *)
+let evictable n =
+  match n.status with
+  | Finished (Ok _) -> n.waiters = []
+  | Pending | Ready | Running | Finished (Error _) -> false
+
+let unlink_evicted n =
+  List.iter
+    (fun d -> d.dependents <- List.filter (fun x -> not (x == n)) d.dependents)
+    n.deps;
+  List.iter
+    (fun d -> d.deps <- List.filter (fun x -> not (x == n)) d.deps)
+    n.dependents;
+  n.deps <- [];
+  n.dependents <- []
+
+(* Triggered past the cap, evict down to 90% of it (batching amortizes the
+   O(n log n) candidate sort), oldest stamps first. *)
+let maybe_evict t =
+  match t.node_cap with
+  | None -> ()
+  | Some cap when Hashtbl.length t.by_key <= cap -> ()
+  | Some cap ->
+      let candidates =
+        Hashtbl.fold
+          (fun _ n acc -> if evictable n then n :: acc else acc)
+          t.by_key []
+      in
+      let target = max 1 (cap * 9 / 10) in
+      let excess = Hashtbl.length t.by_key - target in
+      if excess > 0 && candidates <> [] then begin
+        let arr = Array.of_list candidates in
+        Array.sort (fun a b -> compare a.stamp b.stamp) arr;
+        let k = min excess (Array.length arr) in
+        for i = 0 to k - 1 do
+          let n = arr.(i) in
+          Hashtbl.remove t.by_key n.key;
+          unlink_evicted n;
+          Progress.node_evicted t.ctx.Context.progress
+        done
+      end
 
 (* --- structural helpers; graph mutex held --- *)
 
@@ -238,6 +309,7 @@ let settle t n (outcome : Obj.t Job.outcome) =
   match outcome with
   | Job.Done v ->
       n.status <- Finished (Ok v);
+      touch t n;
       enqueue_waiters t n (Ok v);
       t.pending <- t.pending - 1;
       List.iter
@@ -247,7 +319,8 @@ let settle t n (outcome : Obj.t Job.outcome) =
               d.unmet <- d.unmet - 1;
               if d.unmet = 0 then make_ready t d
           | Ready | Running | Finished _ -> ())
-        n.dependents
+        n.dependents;
+      maybe_evict t
   | Job.Failed msg -> fail_node t n msg
   | Job.Timed_out msg -> fail_node t n ("timed out: " ^ msg)
 
@@ -270,6 +343,7 @@ let node t ?label ?group ?(cache = true) ~key ?(deps = []) payload =
         match Hashtbl.find_opt t.by_key key with
         | Some existing ->
             Progress.job_deduped t.ctx.Context.progress;
+            touch t existing;
             List.iter (fun d -> link t existing ~on:d) deps;
             existing
         | None ->
@@ -293,14 +367,17 @@ let node t ?label ?group ?(cache = true) ~key ?(deps = []) payload =
                 unmet = 0;
                 crit = 1;
                 waiters = [];
+                stamp = 0;
               }
             in
             t.next_id <- t.next_id + 1;
             t.pending <- t.pending + 1;
             Hashtbl.add t.by_key key n;
+            touch t n;
             Progress.add_queued t.ctx.Context.progress 1;
             List.iter (fun d -> link t n ~on:d) deps;
             if n.unmet = 0 then make_ready t n;
+            maybe_evict t;
             n)
   in
   (* linking onto an already-failed dependency poisons dependents, which

@@ -137,3 +137,19 @@ val stop_workers : t -> unit
 
 val size : t -> int
 (** Nodes declared (dedup hits not counted). *)
+
+val retained : t -> int
+(** Nodes currently held by the graph (declared minus LRU-evicted). *)
+
+val set_node_cap : t -> int option -> unit
+(** Bound the number of retained nodes. Beyond the cap, the coldest
+    successfully finished nodes (least recently declared, deduped onto or
+    completed) are evicted in batches down to 90% of it: their [by_key]
+    entry and edges are dropped, {!Progress.node_evicted} is recorded,
+    and a later declaration of the same key recomputes — store-cached
+    payloads answer from the warm on-disk store, so eviction bounds
+    resident memory without forgetting results. Unfinished and failed
+    nodes are never evicted (failures stay sticky for {!await});
+    dependents are unaffected because they capture their dependencies'
+    values directly. [None] (the default) retains every node for the
+    graph's lifetime. *)

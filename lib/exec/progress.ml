@@ -9,6 +9,7 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   corrupt_evicted : int;
+  nodes_evicted : int;
   workers : int;
   wall_total : float;
   job_wall_total : float;
@@ -31,6 +32,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable corrupt_evicted : int;
+  mutable nodes_evicted : int;
   mutable workers : int;
   mutable job_wall_total : float;
   mutable job_wall_max : float;
@@ -53,6 +55,7 @@ let make ~live =
     cache_hits = 0;
     cache_misses = 0;
     corrupt_evicted = 0;
+    nodes_evicted = 0;
     workers = 1;
     job_wall_total = 0.0;
     job_wall_max = 0.0;
@@ -146,6 +149,8 @@ let cache_miss t = record t (fun t -> t.cache_misses <- t.cache_misses + 1)
 let corrupt_evicted t =
   record t (fun t -> t.corrupt_evicted <- t.corrupt_evicted + 1)
 
+let node_evicted t = record t (fun t -> t.nodes_evicted <- t.nodes_evicted + 1)
+
 let set_workers t n = locked t (fun () -> t.workers <- max 1 n)
 
 let finish t =
@@ -168,6 +173,7 @@ let snapshot t =
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         corrupt_evicted = t.corrupt_evicted;
+        nodes_evicted = t.nodes_evicted;
         workers = t.workers;
         wall_total = Unix.gettimeofday () -. t.started_at;
         job_wall_total = t.job_wall_total;
@@ -201,9 +207,9 @@ let json_summary ?(extra = []) t =
      \"corrupt_evicted\": %d}, \"wall_s\": {\"total\": %.3f, \"mean_job\": \
      %.3f, \"max_job\": %.3f}, \"workers\": {\"count\": %d, \
      \"utilization\": %.3f}, \"graph\": {\"deduped\": %d, \
-     \"peak_in_flight\": %d, \"groups\": %d, \"fork_join_estimate_s\": \
-     %.3f}%s}"
+     \"peak_in_flight\": %d, \"nodes_evicted\": %d, \"groups\": %d, \
+     \"fork_join_estimate_s\": %.3f}%s}"
     s.queued s.completed s.failed s.timed_out s.cache_hits s.cache_misses
     s.corrupt_evicted s.wall_total mean_job s.job_wall_max s.workers
-    utilization s.deduped s.peak_in_flight s.groups s.fork_join_estimate_s
-    extra_fields
+    utilization s.deduped s.peak_in_flight s.nodes_evicted s.groups
+    s.fork_join_estimate_s extra_fields

@@ -28,6 +28,9 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;  (** store lookups that had to compute *)
   corrupt_evicted : int;  (** cache entries evicted as unreadable *)
+  nodes_evicted : int;
+      (** completed graph nodes dropped by the node-cache LRU — their
+          results remain in the on-disk store *)
   workers : int;  (** worker domains of the last pool run (1 = sequential) *)
   wall_total : float;  (** seconds since [create] *)
   job_wall_total : float;  (** summed per-job wall seconds *)
@@ -62,6 +65,10 @@ val group_wall : t -> group:string -> wall:float -> unit
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 val corrupt_evicted : t -> unit
+
+val node_evicted : t -> unit
+(** A cold completed graph node was evicted by the node-cache LRU. *)
+
 val set_workers : t -> int -> unit
 
 val finish : t -> unit

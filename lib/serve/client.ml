@@ -226,9 +226,21 @@ let shutdown t = ignore (await t ~id:(simple_op t "shutdown"))
 
 (* Convenience: a submit spec with CLI-equivalent defaults. *)
 let submit_spec ?(id = "") ?(experiments = []) ?(benchmarks = [])
-    ?(width = 4) ?(seed = 42) ?(threshold = 0.65) ?(csv = false) ?timeout_s
-    () : Protocol.submit =
-  match Protocol.expand_experiments experiments with
+    ?(width = 4) ?(seed = 42) ?(threshold = 0.65) ?(csv = false)
+    ?(overrides = []) ?(sweeps = []) ?timeout_s () : Protocol.submit =
+  match Protocol.expand_experiments ~sweeps:(List.map fst sweeps) experiments
+  with
   | Error name -> invalid_arg ("unknown experiment " ^ name)
   | Ok experiments ->
-      { id; experiments; benchmarks; width; seed; threshold; csv; timeout_s }
+      {
+        id;
+        experiments;
+        benchmarks;
+        width;
+        seed;
+        threshold;
+        csv;
+        overrides;
+        sweeps;
+        timeout_s;
+      }

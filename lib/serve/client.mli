@@ -34,13 +34,20 @@ val submit_spec :
   ?seed:int ->
   ?threshold:float ->
   ?csv:bool ->
+  ?overrides:(string * Jsonx.t) list ->
+  ?sweeps:(string * (string * (string * Jsonx.t) list) list) list ->
   ?timeout_s:float ->
   unit ->
   Protocol.submit
 (** A submit request with CLI-equivalent defaults (width 4, seed 42,
     threshold 0.65, all experiments, all benchmarks). Expands and
-    validates [experiments]; raises [Invalid_argument] on an unknown
-    name. An empty [id] is auto-assigned at submit time. *)
+    validates [experiments] (a [sweep:NAME] experiment is accepted when
+    [sweeps] defines NAME); raises [Invalid_argument] on an unknown name.
+    [overrides] are extra machine-config fields sent in the request's
+    [config] object; [sweeps] defines custom sweeps as
+    [(name, points)] with each point [(label, overrides)] — both are
+    validated server-side ([bad_config] / [bad_sweep]). An empty [id] is
+    auto-assigned at submit time. *)
 
 val submit : t -> Protocol.submit -> outcome
 (** Submit and block until [done]/[error]. *)

@@ -127,12 +127,20 @@ let known_experiments =
       [ "threshold"; "predictions"; "ccb"; "syncbits"; "ccewidth";
         "predictors"; "accounting" ]
 
-let expand_experiments names =
+(* [sweeps] are the request-declared custom sweep names: a submit carrying
+   a ["sweeps"] spec may reference each as the experiment ["sweep:NAME"]. *)
+let expand_experiments ?(sweeps = []) names =
+  let is_sweep name =
+    String.length name > 6
+    && String.sub name 0 6 = "sweep:"
+    && List.mem (String.sub name 6 (String.length name - 6)) sweeps
+  in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | "all" :: rest -> go (List.rev_append all_sequence acc) rest
     | name :: rest ->
-        if List.mem name known_experiments then go (name :: acc) rest
+        if List.mem name known_experiments || is_sweep name then
+          go (name :: acc) rest
         else Error name
   in
   match names with [] -> go [] [ "all" ] | names -> go [] names
@@ -146,6 +154,13 @@ type submit = {
   width : int;
   seed : int;
   threshold : float;
+  overrides : (string * Jsonx.t) list;
+      (* machine-config overrides: the non-core keys of the request's
+         "config" object, shape-checked here, semantically validated
+         against the config schema by [Vp_serve.Spec] at admission *)
+  sweeps : (string * (string * (string * Jsonx.t) list) list) list;
+      (* custom sweeps: name -> (point label, point config overrides),
+         referenced from [experiments] as "sweep:NAME" *)
   csv : bool;
   timeout_s : float option;  (* None = the server default *)
 }
@@ -161,6 +176,80 @@ type request =
 type reject = { code : string; message : string }
 
 let reject code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+(* The core keys of the "config" object; everything else is collected as a
+   machine-config override and validated against the config schema at
+   admission by [Vp_serve.Spec]. *)
+let core_config_keys = [ "width"; "seed"; "threshold" ]
+
+let config_overrides config =
+  match config with
+  | Jsonx.Obj fields ->
+      List.filter (fun (k, _) -> not (List.mem k core_config_keys)) fields
+  | _ -> []
+
+(* Shape of the request-level "sweeps" spec:
+     "sweeps": {"NAME": [{"label": "...", "config": {...}}, ...], ...}
+   Names and per-sweep labels must be unique and point lists non-empty;
+   the point configs' semantic validation happens at admission. *)
+let parse_sweeps json =
+  match Jsonx.member "sweeps" json with
+  | None -> Ok []
+  | Some (Jsonx.Obj entries) ->
+      let parse_point name = function
+        | Jsonx.Obj _ as p -> (
+            match Jsonx.string_member "label" p with
+            | None | Some "" ->
+                Error
+                  (reject "bad_sweep" "sweep %S: every point needs a \
+                                       non-empty \"label\"" name)
+            | Some label -> (
+                match Jsonx.member "config" p with
+                | None -> Ok (label, [])
+                | Some (Jsonx.Obj fields) -> Ok (label, fields)
+                | Some _ ->
+                    Error
+                      (reject "bad_sweep"
+                         "sweep %S, point %S: \"config\" must be an object"
+                         name label)))
+        | _ -> Error (reject "bad_sweep" "sweep %S: points must be objects" name)
+      in
+      let parse_entry (name, points) =
+        if name = "" then Error (reject "bad_sweep" "empty sweep name")
+        else
+          match points with
+          | Jsonx.List [] ->
+              Error (reject "bad_sweep" "sweep %S has no points" name)
+          | Jsonx.List ps ->
+              let rec go acc = function
+                | [] -> Ok (name, List.rev acc)
+                | p :: rest -> (
+                    match parse_point name p with
+                    | Error _ as e -> e
+                    | Ok ((label, _) as point) ->
+                        if List.mem_assoc label acc then
+                          Error
+                            (reject "bad_sweep" "sweep %S: duplicate label %S"
+                               name label)
+                        else go (point :: acc) rest)
+              in
+              go [] ps
+          | _ ->
+              Error
+                (reject "bad_sweep" "sweep %S must be a list of points" name)
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | entry :: rest -> (
+            match parse_entry entry with
+            | Error _ as e -> e
+            | Ok ((name, _) as sweep) ->
+                if List.mem_assoc name acc then
+                  Error (reject "bad_sweep" "duplicate sweep %S" name)
+                else go (sweep :: acc) rest)
+      in
+      go [] entries
+  | Some _ -> Error (reject "bad_sweep" "\"sweeps\" must be an object")
 
 let request_of_json json =
   let id = Option.value ~default:"" (Jsonx.string_member "id" json) in
@@ -199,10 +288,11 @@ let request_of_json json =
               (Ok []) xs
             |> Result.map List.rev
       in
-      match (names, benchmarks) with
-      | Error r, _ | _, Error r -> Error (id, r)
-      | Ok names, Ok benchmarks -> (
-          match expand_experiments names with
+      let sweeps = parse_sweeps json in
+      match (names, benchmarks, sweeps) with
+      | Error r, _, _ | _, Error r, _ | _, _, Error r -> Error (id, r)
+      | Ok names, Ok benchmarks, Ok sweeps -> (
+          match expand_experiments ~sweeps:(List.map fst sweeps) names with
           | Error name ->
               Error (id, reject "unknown_experiment" "unknown experiment %S" name)
           | Ok experiments ->
@@ -212,6 +302,7 @@ let request_of_json json =
               let threshold =
                 Option.value ~default:0.65 (Jsonx.float_member "threshold" config)
               in
+              let overrides = config_overrides config in
               let csv =
                 match Jsonx.string_member "format" json with
                 | Some "csv" -> true
@@ -233,6 +324,8 @@ let request_of_json json =
                        width;
                        seed;
                        threshold;
+                       overrides;
+                       sweeps;
                        csv;
                        timeout_s;
                      })))
@@ -247,13 +340,34 @@ let json_of_submit (s : submit) =
        ("benchmarks", Jsonx.List (List.map (fun b -> Jsonx.Str b) s.benchmarks));
        ( "config",
          Jsonx.Obj
-           [
-             ("width", Jsonx.Int s.width);
-             ("seed", Jsonx.Int s.seed);
-             ("threshold", Jsonx.Float s.threshold);
-           ] );
+           ([
+              ("width", Jsonx.Int s.width);
+              ("seed", Jsonx.Int s.seed);
+              ("threshold", Jsonx.Float s.threshold);
+            ]
+           @ s.overrides) );
        ("format", Jsonx.Str (if s.csv then "csv" else "ascii"));
      ]
+    @ (match s.sweeps with
+      | [] -> []
+      | sweeps ->
+          [
+            ( "sweeps",
+              Jsonx.Obj
+                (List.map
+                   (fun (name, points) ->
+                     ( name,
+                       Jsonx.List
+                         (List.map
+                            (fun (label, overrides) ->
+                              Jsonx.Obj
+                                [
+                                  ("label", Jsonx.Str label);
+                                  ("config", Jsonx.Obj overrides);
+                                ])
+                            points) ))
+                   sweeps) );
+          ])
     @
     match s.timeout_s with
     | None -> []

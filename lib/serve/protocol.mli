@@ -50,9 +50,11 @@ val all_sequence : string list
 
 val known_experiments : string list
 
-val expand_experiments : string list -> (string list, string) result
+val expand_experiments :
+  ?sweeps:string list -> string list -> (string list, string) result
 (** Expand ["all"] and validate names ([Error name] on an unknown one).
-    The empty list means ["all"]. *)
+    The empty list means ["all"]. [sweeps] are the request-declared custom
+    sweep names, each addressable as ["sweep:NAME"]. *)
 
 (** {1 Requests} *)
 
@@ -63,6 +65,17 @@ type submit = {
   width : int;
   seed : int;
   threshold : float;
+  overrides : (string * Jsonx.t) list;
+      (** machine-config overrides — the non-core keys of the request's
+          ["config"] object. Shape-checked at parse time; the allowed keys
+          and value types are validated at admission by {!Spec}, which
+          rejects with code [bad_config]. *)
+  sweeps : (string * (string * (string * Jsonx.t) list) list) list;
+      (** custom sweeps declared by the request:
+          [{"sweeps": {"NAME": [{"label": L, "config": {...}}, ...]}}].
+          Each is addressable from [experiments] as ["sweep:NAME"]; the
+          point configs take the same keys as ["config"] (core and
+          override) and are validated at admission ([bad_sweep]). *)
   csv : bool;
   timeout_s : float option;  (** [None] = the server default *)
 }
@@ -75,9 +88,10 @@ type request =
 
 type reject = { code : string; message : string }
 (** Structured rejection — [code] is one of the machine-readable error
-    codes listed in DESIGN.md ([bad_request], [unknown_experiment],
-    [unknown_benchmark], [overloaded], [quota_exceeded], [timeout],
-    [job_failed], [shutting_down], [protocol]). *)
+    codes listed in DESIGN.md ([bad_request], [bad_config], [bad_sweep],
+    [unknown_experiment], [unknown_benchmark], [overloaded],
+    [quota_exceeded], [timeout], [job_failed], [worker_lost],
+    [shutting_down], [protocol]). *)
 
 val reject : string -> ('a, unit, string, reject) format4 -> 'a
 

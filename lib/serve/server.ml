@@ -18,11 +18,16 @@
    simulation.
 
    Sharing is the whole point: every request's nodes are declared onto the
-   same graph with the same content-addressed keys the CLI uses, so
-   overlapping requests from any number of clients resolve to in-flight
-   nodes (graph dedup), to already-finished nodes of an earlier request
-   (the graph keeps results), or to the on-disk store (warm cache) — the
-   payload simulations run once. *)
+   same graph with the same content-addressed keys the CLI uses (see
+   {!Spec}), so overlapping requests from any number of clients resolve to
+   in-flight nodes (graph dedup), to already-finished nodes of an earlier
+   request (the graph keeps results, bounded by the node-cache LRU), or to
+   the on-disk store (warm cache) — the payload simulations run once.
+
+   The same loop also runs as one {e shard} of the sharded daemon
+   ({!run_worker}): a forked worker process serves exactly one connection
+   — the socketpair to its {!Supervisor} — with admission and timeouts
+   handled upstream. *)
 
 module G = Vp_exec.Graph
 
@@ -35,6 +40,7 @@ type config = {
   max_frame : int;
   stats_file : string option;  (** periodic telemetry snapshot target *)
   stats_every_s : float;
+  node_cap : int option;  (** graph node-cache LRU bound; [None] = unbounded *)
 }
 
 let default_config ~socket () =
@@ -47,159 +53,14 @@ let default_config ~socket () =
     max_frame = Protocol.default_max_frame;
     stats_file = None;
     stats_every_s = 10.0;
+    node_cap = None;
   }
-
-(* --- experiment declaration ------------------------------------------- *)
-
-(* Mirror of the CLI's config construction (bin/vliw_vp.ml) — byte-identity
-   of served results with direct runs depends on building the identical
-   [Config.t], which also makes the job keys (and so dedup and the warm
-   cache) line up. *)
-let build_config ~width ~seed ~threshold =
-  let base = Vliw_vp.Config.default in
-  {
-    base with
-    Vliw_vp.Config.width;
-    seed;
-    policy = { base.policy with threshold };
-  }
-
-let resolve_models = function
-  | [] -> Ok Vp_workload.Spec_model.all
-  | names ->
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | n :: rest -> (
-            match Vp_workload.Spec_model.by_name n with
-            | Some m -> go (m :: acc) rest
-            | None -> Error n)
-      in
-      go [] names
-
-let render_key ~artifact ~config ~models ~csv =
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string
-          ("serve-render", artifact, Vliw_vp.Spec_unit.version, models, config,
-           csv)
-          [ Marshal.Closures ]))
-
-let ablate_sweeps =
-  [
-    ("threshold", Vliw_vp.Experiments.threshold_sweep);
-    ("predictions", Vliw_vp.Experiments.prediction_budget_sweep);
-    ("ccb", Vliw_vp.Experiments.ccb_capacity_sweep);
-    ("syncbits", Vliw_vp.Experiments.sync_width_sweep);
-    ("ccewidth", Vliw_vp.Experiments.cce_width_sweep);
-    ("predictors", Vliw_vp.Experiments.predictor_sweep);
-    ("accounting", Vliw_vp.Experiments.accounting_sweep);
-  ]
-
-(* Declare the artifact's work on the shared graph and return one node
-   whose value is the artifact's rendered bytes — exactly the bytes
-   [vliw_vp all] prints for that artifact, trailing separator newline
-   included, so a client can reassemble the byte-identical document. The
-   render node is a [~cache:false] reducer like the experiments' own: its
-   key dedups repeat submissions at the graph level (the graph keeps
-   finished nodes, so a repeated artifact answers without touching the
-   store), while the underlying simulation leaves dedup/cache exactly as
-   they do for the CLI. *)
-let declare_artifact g ~config ~models ~csv artifact :
-    string G.node =
-  let module E = Vliw_vp.Experiments in
-  let module S = E.Suite in
-  let format = if csv then `Csv else `Ascii in
-  let key = render_key ~artifact ~config ~models ~csv in
-  let render ?(deps = []) f =
-    G.node g ~label:("render:" ^ artifact) ~group:"serve" ~cache:false ~key
-      ~deps
-      (fun _ctx -> f ())
-  in
-  let with_summaries f =
-    let n = S.run_all g ~config models in
-    render ~deps:[ G.pack n ] (fun () -> f (G.value n))
-  in
-  match artifact with
-  | "table2" -> with_summaries (fun s -> E.render_table2 ~format s ^ "\n")
-  | "table3" -> with_summaries (fun s -> E.render_table3 ~format s ^ "\n")
-  | "fig8" -> with_summaries (fun s -> E.render_figure8 s ^ "\n")
-  | "comparison" ->
-      with_summaries (fun s -> E.render_comparison ~format s ^ "\n")
-  | "table4" ->
-      let n = S.table4 g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_table4 ~format (G.value n) ^ "\n")
-  | "regions" ->
-      let n = S.regions g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_regions ~format (G.value n) ^ "\n")
-  | "overlap" ->
-      let n = S.overlap_validation g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_overlap ~format (G.value n) ^ "\n")
-  | "hyperblocks" ->
-      let n = S.hyperblocks g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_hyperblocks ~format (G.value n) ^ "\n")
-  | "hardware" ->
-      let n = S.hardware_validation g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          Vliw_vp.Trace_sim.render (G.value n) ^ "\n")
-  | "stability" ->
-      let n = S.stability g ~config models in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_stability ~format (G.value n) ^ "\n")
-  | "recovery" ->
-      let model = List.hd models in
-      let n = S.recovery_sensitivity g ~config model in
-      render ~deps:[ G.pack n ] (fun () ->
-          E.render_recovery_sensitivity ~format
-            ~bench:model.Vp_workload.Spec_model.name (G.value n)
-          ^ "\n")
-  | "example" ->
-      render (fun () -> Format.asprintf "%a@." Vliw_vp.Example.describe ())
-  | _ -> (
-      match
-        if String.length artifact > 7 && String.sub artifact 0 7 = "ablate:"
-        then
-          List.assoc_opt
-            (String.sub artifact 7 (String.length artifact - 7))
-            ablate_sweeps
-        else None
-      with
-      | None ->
-          (* [Protocol.expand_experiments] validated the name; reaching
-             here means the registry and this match diverged *)
-          invalid_arg ("Vp_serve.Server: unmapped artifact " ^ artifact)
-      | Some sweep ->
-          let sweep_name =
-            String.sub artifact 7 (String.length artifact - 7)
-          in
-          let nodes =
-            List.map (fun m -> (m, S.ablate g ~config m sweep)) models
-          in
-          render
-            ~deps:(List.map (fun (_, n) -> G.pack n) nodes)
-            (fun () ->
-              String.concat ""
-                (List.map
-                   (fun ((m : Vp_workload.Spec_model.t), n) ->
-                     E.render_ablation
-                       ~title:
-                         (Printf.sprintf "%s: %s sweep"
-                            m.Vp_workload.Spec_model.name sweep_name)
-                       (G.value n)
-                     ^ "\n")
-                   nodes)))
 
 (* --- connections and requests ----------------------------------------- *)
 
 type conn = {
-  fd : Unix.file_descr;
+  io : Frameio.t;
   cid : int;
-  dec : Protocol.Decoder.t;
-  outq : string Queue.t;  (* framed bytes; head may be partially written *)
-  mutable out_off : int;
   mutable outstanding : int;  (* admitted requests not yet settled *)
   mutable dropped : bool;
 }
@@ -239,9 +100,7 @@ type t = {
   mutable last_stats : float;
 }
 
-let send _t conn json =
-  if not conn.dropped then
-    Queue.add (Protocol.frame (Jsonx.to_string json)) conn.outq
+let send _t conn json = if not conn.dropped then Frameio.send conn.io json
 
 let wake t =
   (* a full pipe already guarantees a pending wakeup *)
@@ -306,14 +165,9 @@ let handle_submit t conn (s : Protocol.submit) =
          "client has %d requests outstanding (quota %d)" conn.outstanding
          t.cfg.client_quota)
   else
-    match resolve_models s.benchmarks with
-    | Error name ->
-        reject_submit t conn ~id:s.id
-          (Protocol.reject "unknown_benchmark" "unknown benchmark %S" name)
-    | Ok models ->
-        let config =
-          build_config ~width:s.width ~seed:s.seed ~threshold:s.threshold
-        in
+    match Spec.of_submit s with
+    | Error rej -> reject_submit t conn ~id:s.id rej
+    | Ok spec ->
         let timeout =
           match s.timeout_s with
           | Some ts when ts > 0.0 -> Some ts
@@ -352,9 +206,7 @@ let handle_submit t conn (s : Protocol.submit) =
            domains), and the callbacks only touch the completion queue. *)
         List.iter
           (fun artifact ->
-            let node =
-              declare_artifact t.graph ~config ~models ~csv:s.csv artifact
-            in
+            let node = Spec.declare_artifact t.graph spec artifact in
             G.on_complete t.graph node (fun result ->
                 push_completion t
                   { c_req = r; c_artifact = artifact; c_result = result }))
@@ -431,7 +283,7 @@ let drop_conn t conn =
     (* requests of a vanished client: stop tracking, nothing to send *)
     List.iter (fun r -> if r.rconn == conn then settle_request t r) t.live;
     t.live <- List.filter (fun r -> not r.settled) t.live;
-    (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ());
+    Frameio.close conn.io;
     t.conns <- List.filter (fun c -> not (c == conn)) t.conns
   end
 
@@ -450,11 +302,8 @@ let accept_loop t listener ~peer_name =
         in
         let conn =
           {
-            fd;
+            io = Frameio.create ~max_frame:t.cfg.max_frame fd;
             cid;
-            dec = Protocol.Decoder.create ~max_frame:t.cfg.max_frame ();
-            outq = Queue.create ();
-            out_off = 0;
             outstanding = 0;
             dropped = false;
           }
@@ -468,52 +317,19 @@ let accept_loop t listener ~peer_name =
   go ()
 
 let read_conn t conn =
-  let buf = Bytes.create 65536 in
-  let rec go () =
-    match Unix.read conn.fd buf 0 (Bytes.length buf) with
-    | 0 -> drop_conn t conn
-    | n ->
-        Protocol.Decoder.feed conn.dec buf n;
-        let rec frames () =
-          match Protocol.Decoder.next conn.dec with
-          | Ok (Some payload) ->
-              handle_frame t conn payload;
-              frames ()
-          | Ok None -> ()
-          | Error msg ->
-              send t conn
-                (Protocol.error ~id:"" (Protocol.reject "protocol" "%s" msg));
-              (* flush the error best-effort, then drop *)
-              drop_conn t conn
-        in
-        frames ();
-        if not conn.dropped then go ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error (_, _, _) -> drop_conn t conn
-  in
-  go ()
+  match Frameio.read_step conn.io ~on_frame:(handle_frame t conn) with
+  | `Ok | `Closed -> ()
+  | `Eof | `Io_error -> drop_conn t conn
+  | `Frame_error msg ->
+      send t conn (Protocol.error ~id:"" (Protocol.reject "protocol" "%s" msg));
+      (* flush the error best-effort, then drop *)
+      ignore (Frameio.write_step conn.io);
+      drop_conn t conn
 
 let write_conn t conn =
-  let rec go () =
-    match Queue.peek_opt conn.outq with
-    | None -> ()
-    | Some chunk -> (
-        let len = String.length chunk - conn.out_off in
-        match Unix.write_substring conn.fd chunk conn.out_off len with
-        | n ->
-            if n = len then begin
-              ignore (Queue.pop conn.outq);
-              conn.out_off <- 0;
-              go ()
-            end
-            else conn.out_off <- conn.out_off + n
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-            ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-        | exception Unix.Unix_error (_, _, _) -> drop_conn t conn)
-  in
-  go ()
+  match Frameio.write_step conn.io with
+  | `Ok -> ()
+  | `Io_error -> drop_conn t conn
 
 let unix_listener path =
   (if Sys.file_exists path then
@@ -540,33 +356,62 @@ let tcp_listener port =
   Unix.set_nonblock fd;
   fd
 
+(* --- shared scaffolding ------------------------------------------------ *)
+
+let make ~exec cfg =
+  let graph = G.create exec in
+  G.set_node_cap graph cfg.node_cap;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    cfg;
+    exec;
+    graph;
+    telemetry = Telemetry.create ();
+    cmutex = Mutex.create ();
+    completions = [];
+    wake_r;
+    wake_w;
+    conns = [];
+    live = [];
+    outstanding = 0;
+    shutting = false;
+    next_cid = 1;
+    last_stats = Unix.gettimeofday ();
+  }
+
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let close_wake t =
+  (try Unix.close t.wake_r with Unix.Unix_error (_, _, _) -> ());
+  try Unix.close t.wake_w with Unix.Unix_error (_, _, _) -> ()
+
+let maybe_write_stats t =
+  match t.cfg.stats_file with
+  | Some _ ->
+      let now = Unix.gettimeofday () in
+      if now -. t.last_stats >= t.cfg.stats_every_s then begin
+        t.last_stats <- now;
+        write_stats_file t
+      end
+  | None -> ()
+
 (* --- main loop --------------------------------------------------------- *)
 
 let interrupted = Atomic.make false
 
 let run ?(on_ready = fun () -> ()) ~exec cfg =
-  let graph = G.create exec in
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  Unix.set_nonblock wake_r;
-  Unix.set_nonblock wake_w;
-  let t =
-    {
-      cfg;
-      exec;
-      graph;
-      telemetry = Telemetry.create ();
-      cmutex = Mutex.create ();
-      completions = [];
-      wake_r;
-      wake_w;
-      conns = [];
-      live = [];
-      outstanding = 0;
-      shutting = false;
-      next_cid = 1;
-      last_stats = Unix.gettimeofday ();
-    }
-  in
+  let t = make ~exec cfg in
   let unix_l = unix_listener cfg.socket_path in
   let tcp_l = Option.map tcp_listener cfg.tcp_port in
   let listeners = unix_l :: Option.to_list tcp_l in
@@ -580,7 +425,7 @@ let run ?(on_ready = fun () -> ()) ~exec cfg =
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  G.start_workers graph;
+  G.start_workers t.graph;
   on_ready ();
   let listeners_open = ref true in
   let close_listeners () =
@@ -593,19 +438,7 @@ let run ?(on_ready = fun () -> ()) ~exec cfg =
   in
   let finished () =
     t.shutting && t.outstanding = 0
-    && List.for_all (fun c -> Queue.is_empty c.outq) t.conns
-  in
-  let drain_wake () =
-    let buf = Bytes.create 256 in
-    let rec go () =
-      match Unix.read t.wake_r buf 0 (Bytes.length buf) with
-      | n when n > 0 -> go ()
-      | _ -> ()
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    in
-    go ()
+    && List.for_all (fun c -> not (Frameio.pending_out c.io)) t.conns
   in
   let rec loop () =
     if Atomic.get interrupted then t.shutting <- true;
@@ -613,11 +446,12 @@ let run ?(on_ready = fun () -> ()) ~exec cfg =
     if not (finished ()) then begin
       let reads =
         (t.wake_r :: (if !listeners_open then listeners else []))
-        @ List.map (fun c -> c.fd) t.conns
+        @ List.map (fun c -> Frameio.fd c.io) t.conns
       in
       let writes =
         List.filter_map
-          (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+          (fun c ->
+            if Frameio.pending_out c.io then Some (Frameio.fd c.io) else None)
           t.conns
       in
       (* Only tick when something is time-driven: request deadlines or
@@ -637,7 +471,7 @@ let run ?(on_ready = fun () -> ()) ~exec cfg =
         | r -> r
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
-      if List.mem t.wake_r readable then drain_wake ();
+      if List.mem t.wake_r readable then drain_wake t;
       if !listeners_open then
         List.iter
           (fun l ->
@@ -647,41 +481,109 @@ let run ?(on_ready = fun () -> ()) ~exec cfg =
                   (if Some l = tcp_l then "tcp" else cfg.socket_path))
           listeners;
       List.iter
-        (fun c -> if List.mem c.fd readable then read_conn t c)
+        (fun c -> if List.mem (Frameio.fd c.io) readable then read_conn t c)
         t.conns;
       List.iter (handle_completion t) (take_completions t);
       check_timeouts t;
       List.iter
         (fun c ->
-          if List.mem c.fd writable && not (Queue.is_empty c.outq) then
-            write_conn t c)
+          if List.mem (Frameio.fd c.io) writable && Frameio.pending_out c.io
+          then write_conn t c)
         t.conns;
       (* opportunistic flush: frames enqueued this iteration *)
       List.iter
-        (fun c -> if not (Queue.is_empty c.outq) then write_conn t c)
+        (fun c -> if Frameio.pending_out c.io then write_conn t c)
         t.conns;
-      (match t.cfg.stats_file with
-      | Some _ ->
-          let now = Unix.gettimeofday () in
-          if now -. t.last_stats >= t.cfg.stats_every_s then begin
-            t.last_stats <- now;
-            write_stats_file t
-          end
-      | None -> ());
+      maybe_write_stats t;
       loop ()
     end
   in
   Fun.protect
     ~finally:(fun () ->
       close_listeners ();
-      G.stop_workers graph;
+      G.stop_workers t.graph;
       write_stats_file t;
       List.iter (fun c -> drop_conn t c) t.conns;
-      (try Unix.close wake_r with Unix.Unix_error (_, _, _) -> ());
-      (try Unix.close wake_w with Unix.Unix_error (_, _, _) -> ());
+      close_wake t;
       (try Sys.remove cfg.socket_path with Sys_error _ -> ());
       Sys.set_signal Sys.sigint old_int;
       Sys.set_signal Sys.sigterm old_term;
       Sys.set_signal Sys.sigpipe old_pipe)
+    loop;
+  stats_json t
+
+(* --- shard worker loop ------------------------------------------------- *)
+
+(* One shard of the sharded daemon: the same serve loop over exactly one
+   connection — the socketpair to the supervisor — with no listeners and
+   no signal handling (the forked child ignores SIGINT/SIGTERM; the
+   supervisor owns the process group's lifecycle and tells us to drain
+   with a [shutdown] frame, or vanishes, which reads as EOF). Admission
+   and client-facing timeouts live in the supervisor; the worker's own
+   quotas are effectively unbounded and deadlines arrive as explicit
+   [timeout_s] on each forwarded sub-request. *)
+let run_worker ?(on_ready = fun () -> ()) ~exec cfg fd =
+  let cfg =
+    {
+      cfg with
+      max_pending = max_int / 2;
+      client_quota = max_int / 2;
+      default_timeout_s = 0.0;
+      stats_file = None;
+    }
+  in
+  let t = make ~exec cfg in
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  Unix.set_nonblock fd;
+  let conn =
+    {
+      io = Frameio.create ~max_frame:cfg.max_frame fd;
+      cid = 0;
+      outstanding = 0;
+      dropped = false;
+    }
+  in
+  Telemetry.client_connected t.telemetry ~cid:0 ~peer:"supervisor";
+  t.conns <- [ conn ];
+  G.start_workers t.graph;
+  on_ready ();
+  let finished () =
+    conn.dropped
+    || (t.shutting && t.outstanding = 0 && not (Frameio.pending_out conn.io))
+  in
+  let rec loop () =
+    if not (finished ()) then begin
+      let reads = [ t.wake_r; Frameio.fd conn.io ] in
+      let writes =
+        if Frameio.pending_out conn.io then [ Frameio.fd conn.io ] else []
+      in
+      let timeout = if t.live = [] && not t.shutting then -1.0 else 0.2 in
+      let readable, writable, _ =
+        match Unix.select reads writes [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem t.wake_r readable then drain_wake t;
+      if (not conn.dropped) && List.mem (Frameio.fd conn.io) readable then
+        read_conn t conn;
+      List.iter (handle_completion t) (take_completions t);
+      check_timeouts t;
+      if
+        (not conn.dropped)
+        && (List.mem (Frameio.fd conn.io) writable
+           || Frameio.pending_out conn.io)
+      then write_conn t conn;
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      G.stop_workers t.graph;
+      (* the workers may have settled more nodes while draining *)
+      List.iter (handle_completion t) (take_completions t);
+      if (not conn.dropped) && Frameio.pending_out conn.io then
+        ignore (Frameio.write_step conn.io);
+      drop_conn t conn;
+      close_wake t)
     loop;
   stats_json t

@@ -40,11 +40,14 @@ type config = {
   max_frame : int;
   stats_file : string option;  (** periodic telemetry snapshot target *)
   stats_every_s : float;
+  node_cap : int option;
+      (** graph node-cache LRU bound (see {!Vp_exec.Graph.set_node_cap});
+          [None] = unbounded *)
 }
 
 val default_config : socket:string -> unit -> config
 (** 64 pending, 16 per client, 300 s timeout, 4 MiB frames, no TCP, no
-    stats file. *)
+    stats file, unbounded node cache. *)
 
 val run : ?on_ready:(unit -> unit) -> exec:Vp_exec.Context.t -> config -> Jsonx.t
 (** Run the daemon until shutdown; returns the final telemetry snapshot.
@@ -52,3 +55,29 @@ val run : ?on_ready:(unit -> unit) -> exec:Vp_exec.Context.t -> config -> Jsonx.
     in-process bench harness to know when to connect). The context's
     [jobs] sets the resident worker count; its [store] is the shared warm
     cache. *)
+
+val unix_listener : string -> Unix.file_descr
+(** Bind a non-blocking Unix listener at the path, unlinking a stale
+    socket left by a dead daemon first (raises [Failure] if a live one
+    answers). Shared with {!Supervisor}, which must bind before forking
+    its shards. *)
+
+val tcp_listener : int -> Unix.file_descr
+(** Bind a non-blocking loopback TCP listener. *)
+
+val run_worker :
+  ?on_ready:(unit -> unit) ->
+  exec:Vp_exec.Context.t ->
+  config ->
+  Unix.file_descr ->
+  Jsonx.t
+(** One shard of the sharded daemon (see {!Supervisor}): the same serve
+    loop over exactly one connection — [fd], the socketpair to the
+    supervisor — with no listeners, no signal handling and no admission
+    limits of its own (quotas, client-facing timeouts and drain
+    orchestration live upstream; deadlines arrive as explicit [timeout_s]
+    on forwarded sub-requests). Runs until the supervisor sends
+    [shutdown] and the backlog drains, or the socketpair hits EOF
+    (supervisor gone). Returns the shard's final telemetry snapshot.
+    Must be called in a freshly forked child {e before} any domain
+    exists in it; it spawns the shard's own resident worker domains. *)

@@ -125,72 +125,81 @@ let latency_json t =
           (if t.n_lat = 0 then 0.0 else 1000.0 *. sorted.(t.n_lat - 1)) );
     ]
 
-(* The full stats object of a [stats] response and of the periodic
-   snapshot file. [pool] is the shared execution context's counters —
-   cache hits/misses, graph dedup — which is where the serve story's
-   "payload jobs run once" proof lives. *)
-let json t ~(pool : Vp_exec.Progress.snapshot) ~queue_depth =
+(* Server-side sections alone: uptime, request counters, latency
+   percentiles, per-client counters. The supervisor composes these with
+   graph/cache sections aggregated across its workers' snapshots. *)
+let core_sections t ~queue_depth =
   let clients =
     Hashtbl.fold (fun _ c acc -> c :: acc) t.clients []
     |> List.sort (fun a b -> compare a.cid b.cid)
   in
+  [
+    ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.t0));
+    ( "requests",
+      Jsonx.Obj
+        [
+          ("received", Jsonx.Int t.received);
+          ("accepted", Jsonx.Int t.accepted);
+          ("completed", Jsonx.Int t.completed);
+          ("failed", Jsonx.Int t.failed);
+          ("timed_out", Jsonx.Int t.timed_out);
+          ( "rejected",
+            Jsonx.Obj (List.map (fun (c, n) -> (c, Jsonx.Int n)) t.rejected) );
+          ("queue_depth", Jsonx.Int queue_depth);
+        ] );
+    ("latency", latency_json t);
+    ( "clients",
+      Jsonx.Obj
+        [
+          ("active", Jsonx.Int (Hashtbl.length t.clients));
+          ("lifetime", Jsonx.Int t.connections);
+          ( "counters",
+            Jsonx.List
+              (List.map
+                 (fun c ->
+                   Jsonx.Obj
+                     [
+                       ("cid", Jsonx.Int c.cid);
+                       ("peer", Jsonx.Str c.peer);
+                       ("submitted", Jsonx.Int c.submitted);
+                       ("completed", Jsonx.Int c.completed);
+                       ("rejected", Jsonx.Int c.rejected);
+                       ("active", Jsonx.Int c.active);
+                     ])
+                 clients) );
+        ] );
+  ]
+
+(* Graph/cache sections of one execution context's counters — cache
+   hits/misses, in-flight dedup, LRU evictions — which is where the
+   serve story's "payload jobs run once" proof lives. *)
+let pool_sections (pool : Vp_exec.Progress.snapshot) =
   let cache_total = pool.cache_hits + pool.cache_misses in
-  Jsonx.Obj
-    [
-      ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.t0));
-      ( "requests",
-        Jsonx.Obj
-          [
-            ("received", Jsonx.Int t.received);
-            ("accepted", Jsonx.Int t.accepted);
-            ("completed", Jsonx.Int t.completed);
-            ("failed", Jsonx.Int t.failed);
-            ("timed_out", Jsonx.Int t.timed_out);
-            ( "rejected",
-              Jsonx.Obj
-                (List.map (fun (c, n) -> (c, Jsonx.Int n)) t.rejected) );
-            ("queue_depth", Jsonx.Int queue_depth);
-          ] );
-      ("latency", latency_json t);
-      ( "clients",
-        Jsonx.Obj
-          [
-            ("active", Jsonx.Int (Hashtbl.length t.clients));
-            ("lifetime", Jsonx.Int t.connections);
-            ( "counters",
-              Jsonx.List
-                (List.map
-                   (fun c ->
-                     Jsonx.Obj
-                       [
-                         ("cid", Jsonx.Int c.cid);
-                         ("peer", Jsonx.Str c.peer);
-                         ("submitted", Jsonx.Int c.submitted);
-                         ("completed", Jsonx.Int c.completed);
-                         ("rejected", Jsonx.Int c.rejected);
-                         ("active", Jsonx.Int c.active);
-                       ])
-                   clients) );
-          ] );
-      ( "graph",
-        Jsonx.Obj
-          [
-            ("jobs_queued", Jsonx.Int pool.queued);
-            ("jobs_done", Jsonx.Int pool.completed);
-            ("jobs_failed", Jsonx.Int pool.failed);
-            ("deduped", Jsonx.Int pool.deduped);
-            ("peak_in_flight", Jsonx.Int pool.peak_in_flight);
-          ] );
-      ( "cache",
-        Jsonx.Obj
-          [
-            ("hits", Jsonx.Int pool.cache_hits);
-            ("misses", Jsonx.Int pool.cache_misses);
-            ("evicted", Jsonx.Int pool.corrupt_evicted);
-            ( "hit_rate",
-              Jsonx.Float
-                (if cache_total = 0 then 0.0
-                 else float_of_int pool.cache_hits /. float_of_int cache_total)
-            );
-          ] );
-    ]
+  [
+    ( "graph",
+      Jsonx.Obj
+        [
+          ("jobs_queued", Jsonx.Int pool.queued);
+          ("jobs_done", Jsonx.Int pool.completed);
+          ("jobs_failed", Jsonx.Int pool.failed);
+          ("deduped", Jsonx.Int pool.deduped);
+          ("peak_in_flight", Jsonx.Int pool.peak_in_flight);
+          ("node_evictions", Jsonx.Int pool.nodes_evicted);
+        ] );
+    ( "cache",
+      Jsonx.Obj
+        [
+          ("hits", Jsonx.Int pool.cache_hits);
+          ("misses", Jsonx.Int pool.cache_misses);
+          ("evicted", Jsonx.Int pool.corrupt_evicted);
+          ( "hit_rate",
+            Jsonx.Float
+              (if cache_total = 0 then 0.0
+               else float_of_int pool.cache_hits /. float_of_int cache_total) );
+        ] );
+  ]
+
+(* The full stats object of a [stats] response and of the periodic
+   snapshot file. *)
+let json t ~(pool : Vp_exec.Progress.snapshot) ~queue_depth =
+  Jsonx.Obj (core_sections t ~queue_depth @ pool_sections pool)

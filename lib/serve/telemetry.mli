@@ -31,3 +31,16 @@ val rejected : t -> cid:int -> code:string -> unit
 (** {1 Rendering} *)
 
 val json : t -> pool:Vp_exec.Progress.snapshot -> queue_depth:int -> Jsonx.t
+(** The full stats object: {!core_sections} followed by
+    {!pool_sections}. *)
+
+val core_sections : t -> queue_depth:int -> (string * Jsonx.t) list
+(** Just the server-side sections ([uptime_s], [requests], [latency],
+    [clients]) — the supervisor composes these with graph/cache sections
+    aggregated across its workers' snapshots and a [workers] section of
+    its own. *)
+
+val pool_sections : Vp_exec.Progress.snapshot -> (string * Jsonx.t) list
+(** The [graph] and [cache] sections of one execution context's
+    counters (including [node_evictions], the node-cache LRU's count of
+    dropped completed nodes). *)

@@ -401,6 +401,57 @@ let test_graph_await_after_failure () =
   | Some (Ok _) -> Alcotest.fail "poisoned node reported Ok"
   | None -> Alcotest.fail "on_complete did not fire for a finished node"
 
+let test_graph_node_cache_lru () =
+  (* With a node cap, completed cold nodes are evicted coldest-first and
+     the retained count stays near the cap; an evicted key's re-declaration
+     gets a fresh node (recompute or store hit), and recently-touched keys
+     survive. *)
+  let progress = Vp_exec.Progress.silent () in
+  let g = G.create (Vp_exec.Context.create ~progress ()) in
+  G.set_node_cap g (Some 10);
+  let declare i =
+    G.node g ~cache:false ~key:(Printf.sprintf "lru-%d" i) (fun _ -> i)
+  in
+  for i = 0 to 49 do
+    ignore (G.await g (declare i))
+  done;
+  checkb "retained bounded by cap" true (G.retained g <= 10);
+  let snap = Vp_exec.Progress.snapshot progress in
+  checkb "evictions counted" true (snap.nodes_evicted >= 40 - 10);
+  (* re-declaring an evicted key yields a live node, and its payload
+     reruns (cache:false, result was only graph-resident) *)
+  let reran = Atomic.make false in
+  let n =
+    G.node g ~cache:false ~key:"lru-0" (fun _ ->
+        Atomic.set reran true;
+        0)
+  in
+  checki "evicted key recomputes" 0 (G.await g n);
+  checkb "payload ran again" true (Atomic.get reran);
+  (* a node kept hot by dedup re-declarations outlives an eviction wave
+     of colder neighbours: its payload never reruns *)
+  let hot_runs = Atomic.make 0 in
+  let declare_hot () =
+    G.node g ~cache:false ~key:"lru-hot" (fun _ ->
+        Atomic.incr hot_runs;
+        -1)
+  in
+  ignore (G.await g (declare_hot ()));
+  for i = 100 to 140 do
+    ignore (G.await g (declare i));
+    ignore (declare_hot ())
+  done;
+  ignore (G.await g (declare_hot ()));
+  checki "hot node never recomputed" 1 (Atomic.get hot_runs);
+  (* uncapped graphs never evict *)
+  G.set_node_cap g None;
+  let before = (Vp_exec.Progress.snapshot progress).nodes_evicted in
+  for i = 200 to 260 do
+    ignore (G.await g (declare i))
+  done;
+  checki "no evictions without a cap" before
+    (Vp_exec.Progress.snapshot progress).nodes_evicted
+
 let test_graph_suite_parallel_determinism () =
   (* The full suite path: several experiments declared on one shared
      graph, drained barrier-free. jobs=1 (declaration-order drain) is the
@@ -517,6 +568,7 @@ let () =
           tc "failure poisons dependents only"
             test_graph_failure_poisons_dependents_only;
           tc "await after failure" test_graph_await_after_failure;
+          tc "node-cache LRU" test_graph_node_cache_lru;
           tc "suite parallel determinism" test_graph_suite_parallel_determinism;
         ] );
       ( "experiments",

@@ -126,6 +126,60 @@ let test_request_validation () =
   | Error (_, r) -> checks "code" "bad_request" r.code
   | Ok _ -> Alcotest.fail "unknown op accepted"
 
+let test_sweep_and_override_validation () =
+  (* sweep names gate the sweep: experiments; shape errors are bad_sweep *)
+  (match parse_req {|{"op":"submit","id":"s1","experiments":["sweep:x"]}|} with
+  | Error (_, r) -> checks "undeclared sweep" "unknown_experiment" r.code
+  | Ok _ -> Alcotest.fail "sweep:x accepted without a sweeps entry");
+  (match
+     parse_req
+       {|{"op":"submit","id":"s2","experiments":["sweep:x"],"sweeps":{"x":[]}}|}
+   with
+  | Error (_, r) -> checks "empty points" "bad_sweep" r.code
+  | Ok _ -> Alcotest.fail "empty sweep accepted");
+  (match
+     parse_req
+       {|{"op":"submit","id":"s3","experiments":["sweep:x"],
+          "sweeps":{"x":[{"label":"a"},{"label":"a"}]}}|}
+   with
+  | Error (_, r) -> checks "duplicate label" "bad_sweep" r.code
+  | Ok _ -> Alcotest.fail "duplicate label accepted");
+  (match
+     parse_req
+       {|{"op":"submit","id":"s4","experiments":["sweep:x"],
+          "sweeps":{"x":[{"label":"a","config":42}]}}|}
+   with
+  | Error (_, r) -> checks "non-object config" "bad_sweep" r.code
+  | Ok _ -> Alcotest.fail "non-object point config accepted");
+  (* a well-formed sweep parses, with its points carried verbatim *)
+  (match
+     parse_req
+       {|{"op":"submit","id":"s5","experiments":["sweep:x"],
+          "sweeps":{"x":[{"label":"narrow","config":{"width":2}},
+                         {"label":"wide","config":{"width":8}}]}}|}
+   with
+  | Ok (P.Submit s) -> (
+      Alcotest.(check (list string)) "experiments" [ "sweep:x" ] s.experiments;
+      match s.sweeps with
+      | [ ("x", [ ("narrow", [ ("width", J.Int 2) ]);
+                  ("wide", [ ("width", J.Int 8) ]) ]) ] -> ()
+      | _ -> Alcotest.fail "sweep points not carried through")
+  | Ok _ -> Alcotest.fail "expected submit"
+  | Error (_, r) -> Alcotest.failf "valid sweep rejected: %s" r.message);
+  (* non-core config keys ride along as overrides *)
+  match
+    parse_req
+      {|{"op":"submit","id":"s6","experiments":["table2"],
+         "config":{"width":8,"branch_penalty":3}}|}
+  with
+  | Ok (P.Submit s) -> (
+      checki "core width" 8 s.width;
+      match s.overrides with
+      | [ ("branch_penalty", J.Int 3) ] -> ()
+      | _ -> Alcotest.fail "override not captured")
+  | Ok _ -> Alcotest.fail "expected submit"
+  | Error (_, r) -> Alcotest.failf "override rejected: %s" r.message
+
 (* --- end-to-end over a real daemon --- *)
 
 (* Start a daemon in its own domain, run [f client], shut down cleanly.
@@ -280,6 +334,236 @@ let test_e2e_stats_and_ping () =
       checki "latency count" 1
         (Option.value ~default:(-1) (J.int_member "count" latency)))
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_e2e_overrides_and_custom_sweep () =
+  with_server (fun client ->
+      (* machine-config overrides: accepted, deterministic, and actually
+         applied — the comparison table's cache costs depend on the icache
+         trace length, so different lengths must render different bytes *)
+      let with_trace n =
+        Vp_serve.Client.submit_spec ~experiments:[ "comparison" ]
+          ~benchmarks:[ "compress" ]
+          ~overrides:[ ("trace_length", J.Int n) ]
+          ()
+      in
+      let a1 = Vp_serve.Client.submit client (with_trace 1000) in
+      let a2 = Vp_serve.Client.submit client (with_trace 1000) in
+      let b = Vp_serve.Client.submit client (with_trace 3000) in
+      checkb "overrides accepted" true
+        (a1.error = None && a2.error = None && b.error = None);
+      checkb "override deterministic" true (a1.results = a2.results);
+      checkb "override applied" true (a1.results <> b.results);
+      (* structured rejections: unknown key and out-of-range value *)
+      let expect_bad overrides =
+        let spec =
+          Vp_serve.Client.submit_spec ~experiments:[ "table2" ]
+            ~benchmarks:[ "compress" ] ~overrides ()
+        in
+        match (Vp_serve.Client.submit client spec).error with
+        | Some ("bad_config", _) -> ()
+        | Some (code, m) -> Alcotest.failf "expected bad_config, got %s: %s" code m
+        | None -> Alcotest.fail "bad override accepted"
+      in
+      expect_bad [ ("frobnicate", J.Int 1) ];
+      expect_bad [ ("miss_penalty", J.Int (-5)) ];
+      (* a custom sweep renders one ablation table per model with the
+         requested point labels *)
+      let sweeps =
+        [
+          ( "trace",
+            [
+              ("short", [ ("trace_length", J.Int 1000) ]);
+              ("long", [ ("trace_length", J.Int 3000) ]);
+            ] );
+        ]
+      in
+      let spec =
+        Vp_serve.Client.submit_spec ~experiments:[ "sweep:trace" ]
+          ~benchmarks:[ "compress" ] ~sweeps ()
+      in
+      let o = Vp_serve.Client.submit client spec in
+      (match o.error with
+      | Some (code, m) -> Alcotest.failf "sweep failed %s: %s" code m
+      | None -> ());
+      match o.results with
+      | [ ("sweep:trace", data) ] ->
+          checkb "short point rendered" true (contains ~sub:"short" data);
+          checkb "long point rendered" true (contains ~sub:"long" data)
+      | r -> Alcotest.failf "expected one sweep result, got %d" (List.length r))
+
+let test_e2e_sweep_point_validation () =
+  with_server (fun client ->
+      let spec =
+        Vp_serve.Client.submit_spec ~experiments:[ "sweep:bad" ]
+          ~benchmarks:[ "compress" ]
+          ~sweeps:[ ("bad", [ ("p", [ ("frobnicate", J.Int 1) ]) ]) ]
+          ()
+      in
+      match (Vp_serve.Client.submit client spec).error with
+      | Some ("bad_sweep", m) ->
+          checkb "names the sweep and point" true
+            (contains ~sub:"bad" m && contains ~sub:"p" m)
+      | Some (code, _) -> Alcotest.failf "expected bad_sweep, got %s" code
+      | None -> Alcotest.fail "invalid sweep point accepted")
+
+let test_e2e_node_cache_eviction () =
+  (* a tiny node cap forces LRU evictions between two identical submits;
+     the resubmit recomputes (or re-reads the store) and must still be
+     byte-identical, with the evictions visible in telemetry *)
+  with_server
+    ~cfg:(fun c -> { c with Vp_serve.Server.node_cap = Some 2 })
+    (fun client ->
+      let o1 = Vp_serve.Client.submit client (table2_spec ()) in
+      let o2 = Vp_serve.Client.submit client (table2_spec ()) in
+      checkb "both ok" true (o1.error = None && o2.error = None);
+      checkb "identical across evictions" true (o1.results = o2.results);
+      let stats = Vp_serve.Client.stats client in
+      let g = Option.get (J.member "graph" stats) in
+      checkb "evictions reported" true
+        (Option.value ~default:0 (J.int_member "node_evictions" g) > 0))
+
+(* --- the sharded daemon (subprocess): [Unix.fork] refuses to run in a
+   process with domains, so these tests drive the real binary --- *)
+
+let bin = "../bin/vliw_vp.exe"
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vp_serve_shard_%d_%d" (Unix.getpid ()) !n)
+
+let with_sharded ?(workers = 2) f =
+  let socket = fresh_socket () in
+  let cache = fresh_dir () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process bin
+      [|
+        bin; "serve"; "--workers"; string_of_int workers; "--socket"; socket;
+        "--cache-dir"; cache; "-j"; "1"; "--timeout"; "120";
+      |]
+      Unix.stdin null null
+  in
+  Unix.close null;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_ready () =
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close probe
+    | exception Unix.Unix_error (_, _, _) ->
+        Unix.close probe;
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "sharded daemon never became ready";
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | _ -> Alcotest.fail "sharded daemon exited during startup");
+        Unix.sleepf 0.05;
+        wait_ready ()
+  in
+  wait_ready ();
+  let client = Vp_serve.Client.connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Vp_serve.Client.shutdown client with _ -> ());
+      Vp_serve.Client.close client;
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+            end
+            else begin
+              Unix.sleepf 0.05;
+              reap ()
+            end
+        | _ -> ()
+      in
+      reap ())
+    (fun () -> f client)
+
+let test_sharded_byte_identity () =
+  with_sharded ~workers:2 (fun client ->
+      let o = Vp_serve.Client.submit client (table2_spec ()) in
+      (match o.error with
+      | Some (code, m) -> Alcotest.fail (code ^ ": " ^ m)
+      | None -> ());
+      (match o.results with
+      | [ ("table2", data) ] ->
+          checks "cold bytes" (Lazy.force direct_table2) data
+      | r -> Alcotest.failf "expected one table2 result, got %d" (List.length r));
+      (* the warm wave dedups onto the shard's resident nodes *)
+      let o2 = Vp_serve.Client.submit client (table2_spec ()) in
+      checkb "warm identical" true (o.results = o2.results))
+
+(* The supervisor's stats carry a workers section; pick a shard that holds
+   in-flight sub-work right now. *)
+let busy_shard_pid client =
+  let stats = Vp_serve.Client.stats client in
+  match J.member "workers" stats with
+  | Some (J.List ws) ->
+      List.find_map
+        (fun w ->
+          match (J.int_member "pid" w, J.int_member "inflight" w) with
+          | Some pid, Some n when n > 0 -> Some pid
+          | _ -> None)
+        ws
+  | _ -> Alcotest.fail "sharded stats without workers section"
+
+let test_sharded_worker_lost () =
+  with_sharded ~workers:2 (fun client ->
+      (* The kill must land while the victim shard holds sub-work: submit a
+         cold multi-artifact request (fresh seed each attempt), find a busy
+         shard via the supervisor's stats — the serve loops answer while
+         their domains compute — and SIGKILL it. *)
+      let rec attempt n =
+        if n > 3 then Alcotest.fail "never caught a shard mid-request"
+        else
+          let spec =
+            Vp_serve.Client.submit_spec ~experiments:[ "all" ]
+              ~benchmarks:[ "compress" ] ~seed:(9100 + n) ()
+          in
+          let id = Vp_serve.Client.submit_async client spec in
+          Unix.sleepf 0.15;
+          match busy_shard_pid client with
+          | None -> (
+              (* request may already be done; drain it and retry colder *)
+              ignore (Vp_serve.Client.await client ~id);
+              attempt (n + 1))
+          | Some shard_pid -> (
+              Unix.kill shard_pid Sys.sigkill;
+              let o = Vp_serve.Client.await client ~id in
+              match o.error with
+              | Some ("worker_lost", m) ->
+                  checkb "error names the shard" true (contains ~sub:"pid" m);
+                  spec
+              | Some (code, m) ->
+                  Alcotest.failf "expected worker_lost, got %s: %s" code m
+              | None ->
+                  (* the victim finished its share before the kill landed *)
+                  attempt (n + 1))
+      in
+      let spec = attempt 0 in
+      (* the slot was re-forked: the same request resubmitted succeeds, and
+         byte-identically to the in-process reference daemon *)
+      let o = Vp_serve.Client.submit client spec in
+      (match o.error with
+      | Some (code, m) -> Alcotest.failf "resubmit failed %s: %s" code m
+      | None -> ());
+      let reference =
+        with_server (fun c -> Vp_serve.Client.submit c spec)
+      in
+      checkb "resubmit byte-identical to in-process daemon" true
+        (o.results = reference.results))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "vp_serve"
@@ -292,7 +576,12 @@ let () =
           tc "rejects oversized" test_decoder_rejects_oversized;
           tc "rejects garbage" test_decoder_rejects_garbage;
         ] );
-      ("protocol", [ tc "request validation" test_request_validation ]);
+      ( "protocol",
+        [
+          tc "request validation" test_request_validation;
+          tc "sweep and override validation"
+            test_sweep_and_override_validation;
+        ] );
       ( "daemon",
         [
           tc "byte identity" test_e2e_byte_identity;
@@ -303,5 +592,13 @@ let () =
           tc "unknown benchmark" test_e2e_unknown_benchmark;
           tc "timeout" test_e2e_timeout;
           tc "stats and ping" test_e2e_stats_and_ping;
+          tc "overrides and custom sweep" test_e2e_overrides_and_custom_sweep;
+          tc "sweep point validation" test_e2e_sweep_point_validation;
+          tc "node-cache eviction" test_e2e_node_cache_eviction;
+        ] );
+      ( "sharded",
+        [
+          tc "byte identity" test_sharded_byte_identity;
+          tc "worker lost and re-fork" test_sharded_worker_lost;
         ] );
     ]
