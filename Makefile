@@ -27,8 +27,9 @@ check: build test
 # full budget, written to BENCH.smoke.json and checked against the
 # committed BENCH.json (kernel:* fails on a >25% regression; the
 # sweep-level targets — table4, ablation:threshold, sweep:ablation-warm,
-# hardware-validation, sweep:suite-graph, serve:warm-submit,
-# serve:overlap-dedup, serve:sharded-cold — on a >40% one).
+# sweep:regions-warm, hardware-validation, sweep:suite-graph,
+# serve:warm-submit, serve:overlap-dedup, serve:sharded-cold — on a
+# >40% one).
 bench:
 	dune exec bench/main.exe -- --json BENCH.json
 
@@ -37,16 +38,21 @@ bench-smoke:
 	dune exec bench/check.exe -- BENCH.json BENCH.smoke.json
 
 # End-to-end smoke of the serve daemon: capture a direct `vliw_vp all`
-# run, then drive the sharded daemon with the load generator at two shard
-# counts (--workers 1 and --workers 4) over the same (now warm) on-disk
-# cache. serve_load asserts every client's stream is byte-identical to
-# the direct capture, a repeat wave executes zero new payload jobs, and a
-# burst past the client quota is rejected with structured errors. All
-# scratch state (sockets, cache, stats, telemetry) stays under _serve_ci/.
+# run (and a direct frontier sweep), then drive the sharded daemon with
+# the load generator at two shard counts (--workers 1 and --workers 4)
+# over the same (now warm) on-disk cache. Each round first submits the
+# regions:frontier artifact and byte-compares it against the direct
+# capture; serve_load then asserts every client's stream is
+# byte-identical to the direct capture, a repeat wave executes zero new
+# payload jobs, and a burst past the client quota is rejected with
+# structured errors. All scratch state (sockets, cache, stats,
+# telemetry) stays under _serve_ci/.
 serve-smoke: build
 	rm -rf _serve_ci && mkdir -p _serve_ci
 	./_build/default/bin/vliw_vp.exe all --jobs 4 --cache-dir _serve_ci/cache \
 	  > _serve_ci/expected.txt
+	( ./_build/default/bin/vliw_vp.exe frontier --jobs 4 \
+	    --cache-dir _serve_ci/cache; echo ) > _serve_ci/expected-frontier.txt
 	@for w in 1 4; do \
 	  echo "== serve-smoke: --workers $$w =="; \
 	  ( ./_build/default/bin/vliw_vp.exe serve --socket _serve_ci/d$$w.sock \
@@ -55,6 +61,9 @@ serve-smoke: build
 	      --stats-file _serve_ci/stats-w$$w.json & \
 	    trap 'kill $$! 2>/dev/null' EXIT; \
 	    for i in $$(seq 1 100); do [ -S _serve_ci/d$$w.sock ] && break; sleep 0.1; done; \
+	    ./_build/default/bin/vliw_vp.exe submit --socket _serve_ci/d$$w.sock \
+	      regions:frontier > _serve_ci/frontier-w$$w.txt && \
+	    cmp _serve_ci/expected-frontier.txt _serve_ci/frontier-w$$w.txt && \
 	    ./_build/default/bench/serve_load.exe --socket _serve_ci/d$$w.sock --smoke \
 	      --expect _serve_ci/expected.txt \
 	      --telemetry-out _serve_ci/serve-telemetry-w$$w.json \

@@ -12,8 +12,9 @@
    - the [kernel:*] targets — microsecond-scale, low-noise, gated at a
      tight threshold (default 25%);
    - the sweep-level targets ([table4], [ablation:threshold],
-     [sweep:ablation-warm], [hardware-validation], [sweep:suite-graph],
-     [serve:warm-submit], [serve:overlap-dedup], [serve:sharded-cold]) —
+     [sweep:ablation-warm], [sweep:regions-warm], [hardware-validation],
+     [sweep:suite-graph], [serve:warm-submit], [serve:overlap-dedup],
+     [serve:sharded-cold]) —
      millisecond-scale end-to-end experiment runs (the serve trio: daemon
      round-trips over a Unix socket; the sharded one against a forked
      [--workers N] subprocess) whose run-to-run noise (allocator state,
@@ -104,6 +105,7 @@ let sweep_gated =
     "table4";
     "ablation:threshold";
     "sweep:ablation-warm";
+    "sweep:regions-warm";
     "hardware-validation";
     "sweep:suite-graph";
     "serve:warm-submit";

@@ -115,12 +115,25 @@ let make_exec (opts : Vp_exec.Cli.opts) =
 
 (* The spec-unit stripe counters and the scenario-engine occupancy ride
    along in the telemetry JSON so a [--telemetry] run shows cache and
-   bitset-lane behaviour next to the job-graph stats. *)
+   bitset-lane behaviour next to the job-graph stats. The sibling memos —
+   the experiment layer's comparison cache and the region-formation
+   cache — nest under the spec_unit section as extra fields. *)
+let stats_json (s : Vliw_vp.Spec_unit.stats) =
+  Printf.sprintf {|{"hits": %d, "misses": %d, "evictions": %d}|} s.hits
+    s.misses s.evictions
+
 let emit_telemetry opts exec =
   Vp_exec.Cli.emit_telemetry
     ~extra:
       [
-        ("spec_unit", Vliw_vp.Spec_unit.telemetry_json ());
+        ( "spec_unit",
+          Vliw_vp.Spec_unit.telemetry_json
+            ~extra:
+              [
+                ("comparison", stats_json (Vliw_vp.Experiments.comparison_stats ()));
+                ("region_unit", stats_json (Vliw_vp.Region_unit.stats ()));
+              ]
+            () );
         ("spec_eval", Vliw_vp.Pipeline.telemetry_json ());
       ]
     opts exec
@@ -283,6 +296,19 @@ let regions_cmd =
     (Cmd.info "regions"
        ~doc:
          "Superblock-region extension: basic-block vs region-granularity value prediction")
+    (with_setup f)
+
+let frontier_cmd =
+  let f ~config ~exec ~models =
+    print_string
+      (Vliw_vp.Experiments.render_regions_frontier
+         (Vliw_vp.Experiments.regions_frontier ~config ~exec models))
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "Region-parameter frontier: sweep superblock formation (max blocks \
+          x min edge probability) across machine widths")
     (with_setup f)
 
 let ablate_cmd =
@@ -747,8 +773,8 @@ let submit_cmd =
   let experiments_t =
     let doc =
       "Experiments to run: all, table2, table3, table4, fig8, comparison, \
-       regions, overlap, example, hyperblocks, hardware, stability, \
-       recovery, ablate:NAME. Default: all."
+       regions, regions:frontier, overlap, example, hyperblocks, hardware, \
+       stability, recovery, ablate:NAME. Default: all."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
@@ -854,6 +880,7 @@ let main_cmd =
         (fun ~format s -> Vliw_vp.Experiments.render_comparison ~format s);
       regions_cmd;
       hyperblocks_cmd;
+      frontier_cmd;
       ablate_cmd;
       hardware_cmd;
       overlap_cmd;

@@ -125,60 +125,100 @@ type comparison_entry = {
 }
 
 let comparison_tbl : comparison_entry list ref Prog_tbl.t = Prog_tbl.create 64
+
+(* Secondary index for region programs: keyed by the formation digest
+   [Region_unit.digest_of] records, and sharing the {e same} entry-list
+   refs as [comparison_tbl] — a program restored from the store (same
+   content, different physical identity) finds the entries its physically
+   distinct twin populated. Basic-block programs have no digest and only
+   live in the physical table. *)
+let comparison_by_digest : (string, comparison_entry list ref) Hashtbl.t =
+  Hashtbl.create 16
+
 let comparison_mutex = Mutex.create ()
 let comparison_cap = 512
 let comparison_entries_cap = 64
+let comparison_hits = Atomic.make 0
+let comparison_misses = Atomic.make 0
+let comparison_evictions = Atomic.make 0
 
-(* [Config.t] embeds one closure (the policy's [speculate_op] veto), so
-   polymorphic equality would raise on it. Compare the veto physically —
-   record updates preserve it, so sweep points share the one default
-   closure — and everything else structurally, by masking the veto to one
-   shared function on both sides. [compare] rather than [=]: only the
-   former short-circuits physically equal subvalues (here the shared
-   mask), [=] would still raise on the closure field. *)
-let masked_veto (_ : Vp_ir.Operation.t) = true
+let comparison_stats () : Spec_unit.stats =
+  {
+    hits = Atomic.get comparison_hits;
+    misses = Atomic.get comparison_misses;
+    evictions = Atomic.get comparison_evictions;
+  }
 
-let config_equal (a : Config.t) (b : Config.t) =
-  let mask (c : Config.t) =
-    { c with Config.policy = { c.policy with speculate_op = masked_veto } }
-  in
-  a.Config.policy.Vp_vspec.Policy.speculate_op
-  == b.Config.policy.Vp_vspec.Policy.speculate_op
-  && compare (mask a) (mask b) = 0
+let comparison_clear () =
+  Mutex.protect comparison_mutex (fun () ->
+      Prog_tbl.reset comparison_tbl;
+      Hashtbl.reset comparison_by_digest;
+      Atomic.set comparison_hits 0;
+      Atomic.set comparison_misses 0;
+      Atomic.set comparison_evictions 0)
+
+let config_equal = Config.structural_equal
 
 let cache_comparison (p : Pipeline.t) =
   if not (Spec_unit.enabled ()) then cache_comparison_fresh p
   else
-    let find () =
+    let digest = Region_unit.digest_of p.program in
+    let entries_opt () =
       match Prog_tbl.find_opt comparison_tbl p.program with
-      | None -> None
-      | Some entries ->
+      | Some entries -> Some entries
+      | None ->
+          Option.bind digest (fun d ->
+              Hashtbl.find_opt comparison_by_digest d)
+    in
+    let find () =
+      Option.bind (entries_opt ()) (fun entries ->
           List.find_opt
             (fun e ->
               e.cc_workload == p.workload && config_equal e.cc_config p.config)
-            !entries
+            !entries)
     in
     match Mutex.protect comparison_mutex find with
-    | Some e -> e.cc_result
+    | Some e ->
+        Atomic.incr comparison_hits;
+        e.cc_result
     | None ->
         let result = cache_comparison_fresh p in
+        Atomic.incr comparison_misses;
         Mutex.protect comparison_mutex (fun () ->
-            if Prog_tbl.length comparison_tbl >= comparison_cap then
+            if Prog_tbl.length comparison_tbl >= comparison_cap then begin
+              let dropped =
+                Prog_tbl.fold
+                  (fun _ entries acc -> acc + List.length !entries)
+                  comparison_tbl 0
+              in
+              ignore (Atomic.fetch_and_add comparison_evictions dropped);
               Prog_tbl.reset comparison_tbl;
+              Hashtbl.reset comparison_by_digest
+            end;
             let entries =
-              match Prog_tbl.find_opt comparison_tbl p.program with
+              match entries_opt () with
               | Some entries -> entries
               | None ->
                   let entries = ref [] in
                   Prog_tbl.add comparison_tbl p.program entries;
                   entries
             in
+            (* keep the physical and digest views bound to one list ref *)
+            if not (Prog_tbl.mem comparison_tbl p.program) then
+              Prog_tbl.add comparison_tbl p.program entries;
+            Option.iter
+              (fun d ->
+                if not (Hashtbl.mem comparison_by_digest d) then
+                  Hashtbl.add comparison_by_digest d entries)
+              digest;
             entries :=
               { cc_config = p.config; cc_workload = p.workload; cc_result = result }
-              :: (if List.length !entries >= comparison_entries_cap then
+              :: (if List.length !entries >= comparison_entries_cap then begin
+                    Atomic.incr comparison_evictions;
                     List.filteri
                       (fun i _ -> i < comparison_entries_cap - 1)
                       !entries
+                  end
                   else !entries));
         result
 
@@ -272,6 +312,21 @@ let job_key ~kind ~(config : Config.t) payload =
        (Marshal.to_string
           (kind, Spec_unit.version, payload, config)
           [ Marshal.Closures ]))
+
+(* One keying helper for every region-formed leaf — the formation params
+   ride in the payload as a typed variant, so a superblock point and a
+   hyperblock point can never collide however their param records evolve
+   (both are records of smallish numbers; marshalled bytes alone would be
+   one accidental field reordering away from a collision), and any two
+   experiments that evaluate the same (model, params, config) point — the
+   plain region tables and a frontier sweep sharing a grid point — share
+   one key, and hence one in-flight node or store entry. *)
+type region_point =
+  | Superblock_point of Vp_region.Superblock.params
+  | Hyperblock_point of Vp_region.Hyperblock.params
+
+let region_job_key ~config point (model : Vp_workload.Spec_model.t) =
+  job_key ~kind:"region" ~config (point, model)
 
 (* Suite-graph declaration helpers (see the [Suite] module at the end of
    this file for the public grouping). Each experiment declares leaf
@@ -523,7 +578,7 @@ type region_row = {
   mean_trace_blocks : float;
 }
 
-let region_row ~config ~params (model : Vp_workload.Spec_model.t) =
+let region_row ?store ~config ~params (model : Vp_workload.Spec_model.t) =
   (* A region holds several blocks' worth of loads, so the per-block
      speculation budget scales with the region size (the base experiments
      keep the paper's per-basic-block budget). *)
@@ -549,8 +604,12 @@ let region_row ~config ~params (model : Vp_workload.Spec_model.t) =
     Vp_workload.Workload.generate ~seed:config.Config.seed model
   in
   let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
+  (* Formation goes through the region-formation memo: identical points
+     share one physical program (which is what makes the downstream
+     physically-keyed caches hit), and a store-backed run shares the
+     formation across processes too. *)
   let sb_program, traces =
-    Vp_region.Superblock.form ~seed:config.seed workload cfg params
+    Region_unit.superblock ?store ~seed:config.seed workload cfg params
   in
   let base =
     Pipeline.run_program ~config workload
@@ -580,14 +639,15 @@ let region_row ~config ~params (model : Vp_workload.Spec_model.t) =
 
 let suite_regions g ~config ?(params = Vp_region.Superblock.default_params)
     models =
+  let store = (G.context g).Vp_exec.Context.store in
   let leaves =
     List.map
       (fun (model : Vp_workload.Spec_model.t) ->
         G.node g
           ~label:("regions:" ^ model.Vp_workload.Spec_model.name)
           ~group:"regions"
-          ~key:(job_key ~kind:"regions" ~config (model, params))
-          (fun _ctx -> region_row ~config ~params model))
+          ~key:(region_job_key ~config (Superblock_point params) model)
+          (fun _ctx -> region_row ?store ~config ~params model))
       models
   in
   reduce g ~kind:"regions" ~config ~payload:(models, params) leaves (fun () ->
@@ -624,6 +684,134 @@ let render_regions ?format rows =
           Printf.sprintf "%.3fx" r.region_speedup;
           string_of_int r.formed_traces;
           Printf.sprintf "%.1f" r.mean_trace_blocks;
+        ])
+    rows;
+  emit ?format table
+
+(* --- Region-parameter frontier --- *)
+
+type frontier_row = {
+  frontier_bench : string;
+  frontier_max_blocks : int;
+  frontier_min_probability : float;
+  frontier_width : int;
+  frontier_ratio : float;
+  frontier_speedup : float;
+  frontier_base_speedup : float;
+  frontier_traces : int;
+  frontier_mean_blocks : float;
+}
+
+let default_frontier_max_blocks = [ 2; 4; 8 ]
+let default_frontier_min_probabilities = [ 0.50; 0.65; 0.80 ]
+let default_frontier_widths = [ 4; 8 ]
+
+(* One leaf per (model, max_blocks, min_probability, width), each
+   computing a plain [region_row] at the width-applied config — exactly
+   what a [regions] leaf at those params computes, so a frontier point
+   that coincides with the plain region table shares its key, node and
+   store entry. The sweep's cost is sublinear in shared-prefix points by
+   construction: every point of one benchmark shares the formation memo's
+   trace selection (stitch-free key), the base pipeline run per width
+   (whole-run memo on the physically shared base program), and the
+   spec-unit artifacts of any point that forms the same program. *)
+let suite_regions_frontier g ~config
+    ?(max_blocks = default_frontier_max_blocks)
+    ?(min_probabilities = default_frontier_min_probabilities)
+    ?(widths = default_frontier_widths) models =
+  let store = (G.context g).Vp_exec.Context.store in
+  let points =
+    List.concat_map
+      (fun mb ->
+        List.concat_map
+          (fun mp -> List.map (fun w -> (mb, mp, w)) widths)
+          min_probabilities)
+      max_blocks
+  in
+  let leaves =
+    List.concat_map
+      (fun (model : Vp_workload.Spec_model.t) ->
+        List.map
+          (fun (mb, mp, w) ->
+            let params =
+              {
+                Vp_region.Superblock.default_params with
+                max_blocks = mb;
+                min_probability = mp;
+              }
+            in
+            let pconfig = Config.with_width w config in
+            let node =
+              G.node g
+                ~label:
+                  (Printf.sprintf "frontier:%s:b%d:p%.2f:w%d"
+                     model.Vp_workload.Spec_model.name mb mp w)
+                ~group:"frontier"
+                ~key:(region_job_key ~config:pconfig (Superblock_point params) model)
+                (fun _ctx -> region_row ?store ~config:pconfig ~params model)
+            in
+            ((model, mb, mp, w), node))
+          points)
+      models
+  in
+  reduce g ~kind:"regions-frontier" ~config
+    ~payload:(models, max_blocks, min_probabilities, widths)
+    (List.map snd leaves)
+    (fun () ->
+      List.map
+        (fun (((model : Vp_workload.Spec_model.t), mb, mp, w), node) ->
+          let (r : region_row) = G.value node in
+          {
+            frontier_bench = model.Vp_workload.Spec_model.name;
+            frontier_max_blocks = mb;
+            frontier_min_probability = mp;
+            frontier_width = w;
+            frontier_ratio = r.region_ratio;
+            frontier_speedup = r.region_speedup;
+            frontier_base_speedup = r.base_speedup;
+            frontier_traces = r.formed_traces;
+            frontier_mean_blocks = r.mean_trace_blocks;
+          })
+        leaves)
+
+let regions_frontier ?(config = Config.default)
+    ?(exec = Vp_exec.Context.sequential) ?max_blocks ?min_probabilities
+    ?widths models =
+  run_graph exec (fun g ->
+      suite_regions_frontier g ~config ?max_blocks ?min_probabilities ?widths
+        models)
+
+let render_regions_frontier ?format rows =
+  let table =
+    Vp_util.Table.create
+      ~title:
+        "Region-parameter frontier: superblock formation (max blocks x min \
+         edge probability) across machine widths"
+      [
+        ("Benchmark", Vp_util.Table.Left);
+        ("Blocks", Vp_util.Table.Right);
+        ("Min prob", Vp_util.Table.Right);
+        ("Width", Vp_util.Table.Right);
+        ("Sched ratio (sb)", Vp_util.Table.Right);
+        ("Speedup (sb)", Vp_util.Table.Right);
+        ("Speedup (bb)", Vp_util.Table.Right);
+        ("Traces", Vp_util.Table.Right);
+        ("Mean blocks", Vp_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Vp_util.Table.add_row table
+        [
+          r.frontier_bench;
+          string_of_int r.frontier_max_blocks;
+          Printf.sprintf "%.2f" r.frontier_min_probability;
+          string_of_int r.frontier_width;
+          cell r.frontier_ratio;
+          Printf.sprintf "%.3fx" r.frontier_speedup;
+          Printf.sprintf "%.3fx" r.frontier_base_speedup;
+          string_of_int r.frontier_traces;
+          Printf.sprintf "%.1f" r.frontier_mean_blocks;
         ])
     rows;
   emit ?format table
@@ -774,12 +962,12 @@ type hyperblock_row = {
   hyper_formed : int;
 }
 
-let hyperblock_row ~config ~params (model : Vp_workload.Spec_model.t) =
+let hyperblock_row ?store ~config ~params (model : Vp_workload.Spec_model.t) =
   let workload =
     Vp_workload.Workload.generate ~seed:config.Config.seed model
   in
   let cfg = Vp_workload.Cfg.derive ~seed:config.seed workload in
-  let hb_program, formed = Vp_region.Hyperblock.form workload cfg params in
+  let hb_program, formed = Region_unit.hyperblock ?store workload cfg params in
   let base =
     Pipeline.run_program ~config workload
       (Vp_workload.Workload.program workload)
@@ -797,14 +985,15 @@ let hyperblock_row ~config ~params (model : Vp_workload.Spec_model.t) =
 
 let suite_hyperblocks g ~config
     ?(params = Vp_region.Hyperblock.default_params) models =
+  let store = (G.context g).Vp_exec.Context.store in
   let leaves =
     List.map
       (fun (model : Vp_workload.Spec_model.t) ->
         G.node g
           ~label:("hyperblocks:" ^ model.Vp_workload.Spec_model.name)
           ~group:"hyperblocks"
-          ~key:(job_key ~kind:"hyperblocks" ~config (model, params))
-          (fun _ctx -> hyperblock_row ~config ~params model))
+          ~key:(region_job_key ~config (Hyperblock_point params) model)
+          (fun _ctx -> hyperblock_row ?store ~config ~params model))
       models
   in
   reduce g ~kind:"hyperblocks" ~config ~payload:(models, params) leaves
@@ -1164,6 +1353,7 @@ module Suite = struct
   let run_all = suite_run_all
   let table4 = suite_table4
   let regions = suite_regions
+  let regions_frontier = suite_regions_frontier
   let overlap_validation = suite_overlap_validation
   let hardware_validation = suite_hardware_validation
   let hyperblocks = suite_hyperblocks

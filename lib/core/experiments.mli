@@ -47,6 +47,20 @@ val summarize : Pipeline.t -> benchmark_summary
 val run_benchmark :
   ?config:Config.t -> Vp_workload.Spec_model.t -> benchmark_summary
 
+val comparison_stats : unit -> Spec_unit.stats
+(** Counters of the cache-comparison memo (the program-keyed cache that
+    lets {!summarize} skip its two icache simulations on warm repeats):
+    [hits]/[misses] lookups, [evictions] entries dropped by either cap —
+    per-program entry trimming, or a full reset of the program table.
+    Region programs participate through their formation digest, so a
+    program restored from the store hits the entries its physically
+    distinct twin populated. Front ends nest this under the [spec_unit]
+    telemetry section. *)
+
+val comparison_clear : unit -> unit
+(** Drop every comparison-memo entry and zero {!comparison_stats} (tests,
+    benchmarks). *)
+
 val run_all :
   ?config:Config.t ->
   ?exec:Vp_exec.Context.t ->
@@ -126,6 +140,43 @@ val regions :
   region_row list
 
 val render_regions : ?format:[ `Ascii | `Csv ] -> region_row list -> string
+
+(** One point of the region-parameter frontier sweep: the superblock
+    experiment's headline columns at one
+    [(max_blocks, min_probability, machine width)] grid point. *)
+type frontier_row = {
+  frontier_bench : string;
+  frontier_max_blocks : int;  (** trace length cap of this point *)
+  frontier_min_probability : float;  (** edge-probability threshold *)
+  frontier_width : int;  (** machine issue width *)
+  frontier_ratio : float;  (** Table-3 best-case ratio, superblocks *)
+  frontier_speedup : float;  (** expected speedup, superblocks *)
+  frontier_base_speedup : float;  (** same at basic-block granularity *)
+  frontier_traces : int;  (** multi-block superblocks formed *)
+  frontier_mean_blocks : float;  (** mean trace length over those *)
+}
+
+val regions_frontier :
+  ?config:Config.t ->
+  ?exec:Vp_exec.Context.t ->
+  ?max_blocks:int list ->
+  ?min_probabilities:float list ->
+  ?widths:int list ->
+  Vp_workload.Spec_model.t list ->
+  frontier_row list
+(** The region fast lane's sweep: superblock formation across
+    [max_blocks] (default [2;4;8]) × [min_probabilities] (default
+    [0.50;0.65;0.80]) × machine [widths] (default [4;8]), one graph leaf
+    per (benchmark, grid point). Each leaf is a plain {!region_row}
+    evaluation at the width-applied config, keyed exactly like a
+    {!regions} leaf — coinciding points share nodes and store entries —
+    and the per-benchmark work beyond the first point is sublinear:
+    points share trace selection (the formation key drops [stitch] for
+    selection), the base pipeline run per width (whole-run memo), and
+    every spec-unit artifact of points that form the same program. *)
+
+val render_regions_frontier :
+  ?format:[ `Ascii | `Csv ] -> frontier_row list -> string
 
 (** The overlap-validation experiment: a dynamic sequence of blocks on the
     shared-clock {!Vp_engine.Sequence_engine}, compared against the two
@@ -308,6 +359,15 @@ module Suite : sig
     ?params:Vp_region.Superblock.params ->
     Vp_workload.Spec_model.t list ->
     region_row list Vp_exec.Graph.node
+
+  val regions_frontier :
+    Vp_exec.Graph.t ->
+    config:Config.t ->
+    ?max_blocks:int list ->
+    ?min_probabilities:float list ->
+    ?widths:int list ->
+    Vp_workload.Spec_model.t list ->
+    frontier_row list Vp_exec.Graph.node
 
   val overlap_validation :
     Vp_exec.Graph.t ->

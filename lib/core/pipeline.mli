@@ -92,7 +92,16 @@ val run_program :
     prefix-sharing tree and collapses repeated outcome vectors into one
     leaf. [exec] defaults to [Vp_exec.Context.sequential] (inline, no
     cache); results are bit-identical for any worker count, and for any
-    spec-unit cache state (on, off, cold, warm). *)
+    spec-unit cache state (on, off, cold, warm).
+
+    Whole runs are memoized (unless [Spec_unit.enabled] is off): the
+    result is pure in [(workload, program, config, profile)] — the
+    reference draws fresh replayable stream instances, and [exec] affects
+    only caching and parallelism — so a repeat call holding the same
+    physical workload/program (the workload memo and
+    [Region_unit] guarantee that for warm reruns and region sweep points)
+    with a structurally equal config returns the finished evaluation.
+    Bounded: 128 programs, 16 entries each. *)
 
 val live_in : int -> int
 (** The deterministic live-in register values used for every simulation
@@ -108,8 +117,9 @@ val telemetry_json : unit -> string
     summary (the [spec_eval] section): whether the bitset engine is
     enabled ([VP_NO_BITSET] routes batches back to the scalar scenario
     tree), how many lane words ran, how many vectors they carried
-    ([vectors_per_word] is the resulting lane occupancy), and how many
-    deadlocks fell back to a scalar replay. *)
+    ([vectors_per_word] is the resulting lane occupancy), how many
+    deadlocks fell back to a scalar replay, and the whole-run memo's
+    hit/miss counters. *)
 
 val stats : t -> Vp_metrics.Summary.block_stats array
 (** Reduce to the metric layer's per-block records. *)

@@ -92,7 +92,7 @@ let stats () =
     { hits = 0; misses = 0; evictions = 0 }
     stripes
 
-let telemetry_json () =
+let telemetry_json ?(extra = []) () =
   let buf = Buffer.create 256 in
   let total = stats () in
   Buffer.add_string buf
@@ -106,7 +106,12 @@ let telemetry_json () =
         (Printf.sprintf "{\"hits\": %d, \"misses\": %d}" (Atomic.get s.hits)
            (Atomic.get s.misses)))
     stripes;
-  Buffer.add_string buf "]}";
+  Buffer.add_string buf "]";
+  List.iter
+    (fun (name, json) ->
+      Buffer.add_string buf (Printf.sprintf ", \"%s\": %s" name json))
+    extra;
+  Buffer.add_string buf "}";
   Buffer.contents buf
 
 (* Per-stripe caps keep the totals of the unsharded design: 8192 content
@@ -163,8 +168,19 @@ let cached (table : stripe -> (string, 'a) Hashtbl.t) ?store ~key
             if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
         v
 
-let schedule ?store descr block =
-  let key = digest_key ("spec-unit-schedule", version, descr, block) in
+(* An [ident] is a (region formation digest, block index) pair: a complete
+   content identity for the block — formation is deterministic in the
+   digested inputs — in a few dozen bytes. It substitutes the marshalled
+   block IR in the artifact keys below under a distinct tag, so the two
+   keyings can never collide; [None] preserves the historical key bytes
+   exactly (warm stores keep answering). *)
+let schedule ?store ?ident descr block =
+  let key =
+    match ident with
+    | Some (digest, index) ->
+        digest_key ("spec-unit-schedule-ident", version, descr, digest, index)
+    | None -> digest_key ("spec-unit-schedule", version, descr, block)
+  in
   cached (fun s -> s.sched) ?store ~key (fun () ->
       Vp_sched.List_scheduler.schedule_block descr block)
 
@@ -177,7 +193,7 @@ let schedule ?store descr block =
    threshold" message, is rewritten on the way out. *)
 let threshold_msg_prefix = "no load above the "
 
-let transform ?store ~(policy : Vp_vspec.Policy.t) descr
+let transform ?store ?ident ~(policy : Vp_vspec.Policy.t) descr
     ~(rates : float option array) block =
   let masked =
     Array.map
@@ -188,11 +204,23 @@ let transform ?store ~(policy : Vp_vspec.Policy.t) descr
   in
   let policy0 = { policy with Vp_vspec.Policy.threshold = 0.0 } in
   let key =
-    digest_key ("spec-unit-transform", version, descr, policy0, masked, block)
+    match ident with
+    | Some (digest, index) ->
+        digest_key
+          ( "spec-unit-transform-ident",
+            version,
+            descr,
+            policy0,
+            masked,
+            digest,
+            index )
+    | None ->
+        digest_key
+          ("spec-unit-transform", version, descr, policy0, masked, block)
   in
   let outcome =
     cached (fun s -> s.xform) ?store ~key (fun () ->
-        let baseline = schedule ?store descr block in
+        let baseline = schedule ?store ?ident descr block in
         Vp_vspec.Transform.apply ~policy:policy0 ~baseline descr
           ~rate:(fun (op : Vp_ir.Operation.t) -> masked.(op.id))
           block)

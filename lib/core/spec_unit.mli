@@ -69,23 +69,36 @@ val stripe_stats : unit -> stats array
 (** Per-stripe counters, index-aligned with the stripes — the telemetry
     view of how evenly the key hash spreads the load. *)
 
-val telemetry_json : unit -> string
+val telemetry_json : ?extra:(string * string) list -> unit -> string
 (** [{"hits": .., "misses": .., "evictions": .., "stripes": [{"hits": ..,
     "misses": ..}, ...]}] — the [spec_unit] section front ends attach to
-    the [--telemetry] summary via [Vp_exec.Cli.emit_telemetry ~extra]. *)
+    the [--telemetry] summary via [Vp_exec.Cli.emit_telemetry ~extra].
+    [extra] appends [(name, json)] pairs as further fields of the object —
+    the front ends use it to nest the sibling memo counters (the
+    experiment layer's comparison memo, the region-formation memo) under
+    the same section. *)
 
 val clear : unit -> unit
 (** Drop every in-memory entry and zero {!stats} (tests, benchmarks). *)
 
 val schedule :
   ?store:Vp_exec.Store.t ->
+  ?ident:string * int ->
   Vp_machine.Descr.t ->
   Vp_ir.Block.t ->
   Vp_sched.Schedule.t
-(** Cached [Vp_sched.List_scheduler.schedule_block]. *)
+(** Cached [Vp_sched.List_scheduler.schedule_block]. [ident] is a
+    [(content digest, block index)] pair naming the block by provenance —
+    the pipeline passes [(Region_unit.digest_of program, index)] for
+    region-formed programs — and substitutes the marshalled block IR in
+    the key (under a distinct tag, so the two keyings cannot collide):
+    keying a region block costs a few dozen digested bytes instead of its
+    whole IR. Callers are responsible for the digest actually determining
+    the block's content; [None] keeps the historical key bytes. *)
 
 val transform :
   ?store:Vp_exec.Store.t ->
+  ?ident:string * int ->
   policy:Vp_vspec.Policy.t ->
   Vp_machine.Descr.t ->
   rates:float option array ->
@@ -95,7 +108,8 @@ val transform :
     every operation by id ([None] for non-loads and unprofiled loads) —
     an array rather than a closure so it can be hashed into the key. The
     baseline schedule is obtained through {!schedule}, so a transform miss
-    still reuses a cached schedule. *)
+    still reuses a cached schedule. [ident] as in {!schedule} (the masked
+    rates stay in the key — they depend on the profile, not the block). *)
 
 val profile_rates :
   ?store:Vp_exec.Store.t ->

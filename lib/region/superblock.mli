@@ -52,6 +52,7 @@ val select_traces :
 
 val form :
   ?seed:int ->
+  ?traces:trace list ->
   Vp_workload.Workload.t ->
   Vp_workload.Cfg.t ->
   params ->
@@ -59,4 +60,8 @@ val form :
 (** Build the superblock program. Deterministic in [(workload, cfg, seed)];
     default seed 42. The returned program contains one merged block per
     multi-block trace, plus every original block that retains residual
-    executions. *)
+    executions. [traces] substitutes a precomputed {!select_traces} result
+    (which depends on the params only through [max_blocks],
+    [min_probability] and [min_count], never [stitch]) — the memo layer
+    uses it so sweep points that vary only the stitch probability share
+    one trace selection. *)

@@ -121,7 +121,7 @@ let all_sequence =
 
 let known_experiments =
   all_sequence
-  @ [ "hyperblocks"; "hardware"; "stability"; "recovery" ]
+  @ [ "hyperblocks"; "hardware"; "stability"; "recovery"; "regions:frontier" ]
   @ List.map
       (fun s -> "ablate:" ^ s)
       [ "threshold"; "predictions"; "ccb"; "syncbits"; "ccewidth";

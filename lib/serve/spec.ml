@@ -280,6 +280,10 @@ let declare_artifact g spec artifact : string G.node =
       let n = S.regions g ~config models in
       render ~deps:[ G.pack n ] (fun () ->
           E.render_regions ~format (G.value n) ^ "\n")
+  | "regions:frontier" ->
+      let n = S.regions_frontier g ~config models in
+      render ~deps:[ G.pack n ] (fun () ->
+          E.render_regions_frontier ~format (G.value n) ^ "\n")
   | "overlap" ->
       let n = S.overlap_validation g ~config models in
       render ~deps:[ G.pack n ] (fun () ->
