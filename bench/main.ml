@@ -70,6 +70,7 @@ let emit_telemetry () =
             ]
           () );
       ("spec_eval", Vliw_vp.Pipeline.telemetry_json ());
+      ("trace_sim", Vliw_vp.Trace_sim.telemetry_json ());
     ]
   in
   match exec_opts.Vp_exec.Cli.telemetry with
@@ -569,6 +570,24 @@ let tests =
           in
           fun () ->
             Vp_predict.Kernel.run_pass pass values ~off:0 ~len:2000));
+    (* One VP-table slot's whole predict-and-train sequence — the fused
+       hybrid stride+FCM kernel the trace simulator's fast lane runs per
+       slot batch. Same 2000-value arena as kernel:value-profile-pass. *)
+    Test.make ~name:"kernel:vp-table-pass"
+      (Staged.stage
+         (let values = Array.init 2000 (fun i -> i * 7 land 4095) in
+          let table = Vp_predict.Vp_table.create ~entries:64 () in
+          let correct = Bytes.create 2000 in
+          fun () ->
+            Vp_predict.Vp_table.run_slot_uniform table ~pc:42 values
+              ~len:2000 ~correct));
+    (* The trace simulator alone against a prebuilt pipeline — the phased
+       fast lane without hardware-validation's (memoized) pipeline
+       rebuild. *)
+    Test.make ~name:"kernel:trace-sim"
+      (Staged.stage
+         (let p = Vliw_vp.Pipeline.run ~config:bench_config bench_model in
+          fun () -> Vliw_vp.Trace_sim.run ~executions:500 p));
     (* The bit-parallel engine on a dense outcome set: 63 vectors of the
        densest block, one full lane word (duplicates — a Monte-Carlo batch
        shape — share a lane). kernel:bitset-scenarios-scalar runs the

@@ -135,6 +135,7 @@ let emit_telemetry opts exec =
               ]
             () );
         ("spec_eval", Vliw_vp.Pipeline.telemetry_json ());
+        ("trace_sim", Vliw_vp.Trace_sim.telemetry_json ());
       ]
     opts exec
 

@@ -909,13 +909,19 @@ let suite_hardware_validation g ~config ?executions models =
         G.node g
           ~label:("hardware:" ^ model.Vp_workload.Spec_model.name)
           ~group:"hardware"
-          ~key:(job_key ~kind:"hardware" ~config (model, executions))
+          ~key:
+            (* [Trace_sim.version] is hashed in so algorithm changes in the
+               simulator invalidate stored hardware rows instead of being
+               served stale bytes. *)
+            (job_key ~kind:"hardware" ~config
+               (model, executions, Trace_sim.version))
           (fun _ctx ->
             ( model.Vp_workload.Spec_model.name,
               Trace_sim.run ?executions (Pipeline.run ~config model) )))
       models
   in
-  reduce g ~kind:"hardware" ~config ~payload:(models, executions) leaves
+  reduce g ~kind:"hardware" ~config
+    ~payload:(models, executions, Trace_sim.version) leaves
     (fun () -> List.map G.value leaves)
 
 let hardware_validation ?(config = Config.default)

@@ -34,7 +34,9 @@ type fcm_s = {
   f_history : int array; (* circular, most recent at [(head-1) mod order] *)
   mutable f_fill : int; (* values observed, saturates at order *)
   mutable f_head : int; (* next write position *)
-  f_table : int array; (* [no_prediction] = empty slot *)
+  f_table : int array; (* slot live iff its stamp matches the epoch *)
+  f_stamp : int array; (* epoch stamp per slot *)
+  mutable f_epoch : int; (* bumped by reset: an O(1) table clear *)
 }
 
 type dfcm_s = { d_fcm : fcm_s; mutable d_last : int; mutable d_has_last : bool }
@@ -74,6 +76,8 @@ let make_fcm ~order ~table_bits =
     f_fill = 0;
     f_head = 0;
     f_table = Array.make (1 lsl table_bits) no_prediction;
+    f_stamp = Array.make (1 lsl table_bits) 0;
+    f_epoch = 1;
   }
 
 let create = function
@@ -96,10 +100,13 @@ let reset_stride s =
   s.s_has_delta <- false;
   s.s_has_confirmed <- false
 
+(* Epoch bump instead of an [O(table)] fill: every live slot's stamp stops
+   matching, which is exactly an empty table. The tagged VP table resets a
+   slot's kernel on every aliasing eviction, so this must stay O(1). *)
 let reset_fcm f =
   f.f_fill <- 0;
   f.f_head <- 0;
-  Array.fill f.f_table 0 (Array.length f.f_table) no_prediction
+  f.f_epoch <- f.f_epoch + 1
 
 let reset = function
   | Last s -> s.lv <- no_prediction
@@ -135,11 +142,14 @@ let[@inline] predict_stride s =
   else no_prediction
 
 let[@inline] predict_fcm f =
-  if f.f_fill >= f.f_order then f.f_table.(signature f) else no_prediction
+  if f.f_fill >= f.f_order then begin
+    let sg = signature f in
+    if f.f_stamp.(sg) = f.f_epoch then f.f_table.(sg) else no_prediction
+  end
+  else no_prediction
 
-(* DFCM's table holds strides; [no_prediction] marks the empty slot there
-   too, so a stored stride equal to [min_int] would be misread — impossible
-   while arena values stay within a factor of 2 of the int range. *)
+(* DFCM's table holds strides; the epoch stamps mark empty slots, so even
+   a stored stride equal to [min_int] cannot be misread as one. *)
 let[@inline] predict_dfcm d =
   if d.d_has_last then
     let stride = predict_fcm d.d_fcm in
@@ -175,7 +185,11 @@ let[@inline] update_stride s v =
   s.s_has_last <- true
 
 let[@inline] update_fcm f v =
-  if f.f_fill >= f.f_order then f.f_table.(signature f) <- v;
+  if f.f_fill >= f.f_order then begin
+    let sg = signature f in
+    f.f_table.(sg) <- v;
+    f.f_stamp.(sg) <- f.f_epoch
+  end;
   f.f_history.(f.f_head) <- v;
   f.f_head <- (f.f_head + 1) mod f.f_order;
   if f.f_fill < f.f_order then f.f_fill <- f.f_fill + 1
@@ -369,3 +383,106 @@ let pass_hit p j =
 let pass_rate p j =
   let h = pass_hit p j in
   if p.p_len = 0 then 0.0 else float_of_int h /. float_of_int p.p_len
+
+(* --- Slot sequence: the VP-table fast lane --- *)
+
+(* One table entry's whole predict-and-train sequence in a single call.
+   Per touch this is exactly [Vp_table]'s per-execution protocol against a
+   settled entry: predict, gate on confidence, record the confidence
+   hit/miss from the raw prediction, train, emit whether the (gated)
+   prediction was made and correct. The trace simulator's slot batches
+   replay thousands of touches per call, so the hybrid default gets a
+   fused loop (component predictions computed once per touch, the FCM
+   signature hashed once for the predict and the table write, no variant
+   dispatch); every other kind runs the generic state machines. *)
+
+let seq_generic t ~conf ~use_confidence values ~len ~correct =
+  for k = 0 to len - 1 do
+    let v = Array.unsafe_get values k in
+    let p = predict t in
+    let made =
+      p <> no_prediction && ((not use_confidence) || Confidence.confident conf)
+    in
+    if p <> no_prediction then
+      if p = v then Confidence.record_hit conf
+      else Confidence.record_miss conf;
+    update t v;
+    Bytes.unsafe_set correct k (if made && p = v then '\001' else '\000')
+  done
+
+(* Hybrid stride + order-2 FCM, the table's default kind, fully inlined. *)
+let seq_hybrid2 h ~conf ~use_confidence values ~len ~correct =
+  let s = h.h_stride in
+  let f = h.h_fcm in
+  let hist = f.f_history
+  and table = f.f_table
+  and stamp = f.f_stamp
+  and mask = f.f_mask
+  and epoch = f.f_epoch in
+  for k = 0 to len - 1 do
+    let v = Array.unsafe_get values k in
+    let sp =
+      if s.s_has_last then
+        s.s_last + (if s.s_has_confirmed then s.s_confirmed else 0)
+      else no_prediction
+    in
+    let full = f.f_fill >= 2 in
+    let sg =
+      if full then
+        mix
+          (mix 0x12345 (Array.unsafe_get hist f.f_head))
+          (Array.unsafe_get hist (1 - f.f_head))
+        land mask
+      else 0
+    in
+    let fp =
+      if full && Array.unsafe_get stamp sg = epoch then
+        Array.unsafe_get table sg
+      else no_prediction
+    in
+    let p =
+      if h.h_stride_hits >= h.h_fcm_hits then
+        if sp <> no_prediction then sp else fp
+      else if fp <> no_prediction then fp
+      else sp
+    in
+    let made =
+      p <> no_prediction && ((not use_confidence) || Confidence.confident conf)
+    in
+    if p <> no_prediction then
+      if p = v then Confidence.record_hit conf
+      else Confidence.record_miss conf;
+    (* hybrid update: component hit counters, then both state machines *)
+    if sp <> no_prediction && sp = v then
+      h.h_stride_hits <- h.h_stride_hits + 1;
+    if fp <> no_prediction && fp = v then h.h_fcm_hits <- h.h_fcm_hits + 1;
+    (if s.s_has_last then begin
+       let delta = v - s.s_last in
+       if s.s_has_delta && s.s_last_delta = delta then begin
+         s.s_confirmed <- delta;
+         s.s_has_confirmed <- true
+       end;
+       s.s_last_delta <- delta;
+       s.s_has_delta <- true
+     end);
+    s.s_last <- v;
+    s.s_has_last <- true;
+    (* The FCM table write reuses the predict's signature: the history is
+       unchanged in between, so both hash to the same slot. *)
+    if full then begin
+      Array.unsafe_set table sg v;
+      Array.unsafe_set stamp sg epoch
+    end;
+    Array.unsafe_set hist f.f_head v;
+    f.f_head <- 1 - f.f_head;
+    if f.f_fill < 2 then f.f_fill <- f.f_fill + 1;
+    Bytes.unsafe_set correct k (if made && p = v then '\001' else '\000')
+  done
+
+let seq_predict_train t ~conf ~use_confidence values ~len ~correct =
+  if len < 0 || len > Array.length values || len > Bytes.length correct then
+    invalid_arg "Kernel.seq_predict_train: range out of bounds";
+  match t with
+  | Hybrid h when h.h_fcm.f_order = 2 ->
+      seq_hybrid2 h ~conf ~use_confidence values ~len ~correct
+  | _ -> seq_generic t ~conf ~use_confidence values ~len ~correct

@@ -67,3 +67,23 @@ val pass_hit : pass -> int -> int
 
 val pass_rate : pass -> int -> float
 (** {!pass_hit} normalized by the last run's [len]; [0.] when [len = 0]. *)
+
+val seq_predict_train :
+  t ->
+  conf:Confidence.t ->
+  use_confidence:bool ->
+  int array ->
+  len:int ->
+  correct:Bytes.t ->
+  unit
+(** One VP-table entry's whole predict-and-train sequence in a single
+    call: for each of [values.(0 .. len-1)] predict, gate on the
+    confidence counter when [use_confidence], record the confidence
+    hit/miss from the raw (ungated) prediction, train, and store ['\001']
+    in [correct.(k)] iff a gated prediction was made and equalled the
+    value (['\000'] otherwise). Touch [k] is exactly
+    [Vp_table.predict_and_train] against a settled (non-aliasing) entry.
+    The default hybrid stride + order-2 FCM kind runs as a fused loop
+    with no variant dispatch and no allocation; other kinds fall back to
+    the generic state machines. Raises [Invalid_argument] if [len]
+    exceeds either buffer. *)

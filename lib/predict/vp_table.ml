@@ -1,6 +1,12 @@
+(* Entries hold unboxed {!Kernel.t} state machines rather than closure
+   predictors: the kernels are property-pinned to the closures
+   (test_predict.ml), and exposing the state lets the trace simulator's
+   fast lane replay a whole slot's predict-and-train sequence in one
+   {!Kernel.seq_predict_train} call with no dispatch per touch. *)
+
 type entry = {
   mutable owner : int option;  (* PC tag *)
-  mutable predictor : Iface.t;
+  kernel : Kernel.t;
   confidence : Confidence.t;
 }
 
@@ -13,6 +19,7 @@ type t = {
          otherwise instantiate 1024 FCM second-level tables up front, when
          a trace only ever touches one slot per static load *)
   mask : int;
+  mutable evictions : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -22,7 +29,14 @@ let create ?(entries = 1024)
     ?(use_confidence = false) ?(tagged = true) () =
   if not (is_power_of_two entries) then
     invalid_arg "Vp_table.create: entries must be a positive power of two";
-  { kind; use_confidence; tagged; slots = Array.make entries None; mask = entries - 1 }
+  {
+    kind;
+    use_confidence;
+    tagged;
+    slots = Array.make entries None;
+    mask = entries - 1;
+    evictions = 0;
+  }
 
 let index t pc =
   let h = pc * 0x9E3779B1 in
@@ -37,7 +51,7 @@ let slot_for t pc =
         let e =
           {
             owner = None;
-            predictor = Predictor.instantiate t.kind;
+            kernel = Kernel.create t.kind;
             confidence = Confidence.create ();
           }
         in
@@ -49,32 +63,86 @@ let slot_for t pc =
   | Some _ ->
       (* Tagged aliasing eviction: the entry is claimed by the new PC. *)
       e.owner <- Some pc;
-      e.predictor.Iface.reset ();
+      t.evictions <- t.evictions + 1;
+      Kernel.reset e.kernel;
       Confidence.reset e.confidence
   | None -> e.owner <- Some pc);
   e
 
 let predict t ~pc =
   let e = slot_for t pc in
-  match e.predictor.Iface.predict () with
-  | Some v when (not t.use_confidence) || Confidence.confident e.confidence ->
-      Some v
-  | _ -> None
+  let p = Kernel.predict e.kernel in
+  if
+    p <> Kernel.no_prediction
+    && ((not t.use_confidence) || Confidence.confident e.confidence)
+  then Some p
+  else None
 
 let train t ~pc ~actual =
   let e = slot_for t pc in
-  (match e.predictor.Iface.predict () with
-  | Some v when v = actual -> Confidence.record_hit e.confidence
-  | Some _ -> Confidence.record_miss e.confidence
-  | None -> ());
-  e.predictor.Iface.update actual
+  let p = Kernel.predict e.kernel in
+  if p <> Kernel.no_prediction then
+    if p = actual then Confidence.record_hit e.confidence
+    else Confidence.record_miss e.confidence;
+  Kernel.update e.kernel actual
 
 let predict_and_train t ~pc ~actual =
-  let prediction = predict t ~pc in
-  train t ~pc ~actual;
-  match prediction with Some v -> v = actual | None -> false
+  (* One [slot_for]: [predict] may evict on an alias, after which [train]'s
+     lookup with the same PC is a no-op — so a single settled entry sees
+     both halves, exactly as the two-call sequence did. *)
+  let e = slot_for t pc in
+  let p = Kernel.predict e.kernel in
+  let made =
+    p <> Kernel.no_prediction
+    && ((not t.use_confidence) || Confidence.confident e.confidence)
+  in
+  if p <> Kernel.no_prediction then
+    if p = actual then Confidence.record_hit e.confidence
+    else Confidence.record_miss e.confidence;
+  Kernel.update e.kernel actual;
+  made && p = actual
+
+let run_slot_uniform t ~pc values ~len ~correct =
+  (* The scalar path never touches a slot with zero occurrences, so
+     neither do we: [len = 0] must not claim (or evict) the entry. *)
+  if len > 0 then begin
+    let e = slot_for t pc in
+    Kernel.seq_predict_train e.kernel ~conf:e.confidence
+      ~use_confidence:t.use_confidence values ~len ~correct
+  end
+
+let run_slot t ~pcs values ~len ~correct =
+  if
+    len < 0
+    || len > Array.length pcs
+    || len > Array.length values
+    || len > Bytes.length correct
+  then invalid_arg "Vp_table.run_slot: range out of bounds";
+  for k = 0 to len - 1 do
+    let hit =
+      predict_and_train t ~pc:(Array.unsafe_get pcs k)
+        ~actual:(Array.unsafe_get values k)
+    in
+    Bytes.unsafe_set correct k (if hit then '\001' else '\000')
+  done
+
+let reset t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some e ->
+          e.owner <- None;
+          Kernel.reset e.kernel;
+          Confidence.reset e.confidence)
+    t.slots
+
+let populated t =
+  Array.fold_left
+    (fun acc e -> match e with Some _ -> acc + 1 | None -> acc)
+    0 t.slots
 
 let entries t = Array.length t.slots
+let evictions t = t.evictions
 
 let utilization t =
   let used =

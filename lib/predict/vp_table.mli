@@ -41,3 +41,41 @@ val entries : t -> int
 
 val utilization : t -> float
 (** Fraction of entries that have been claimed by some PC. *)
+
+val index : t -> int -> int
+(** Table slot for a PC — the direct-mapped hash. Two PCs with the same
+    index alias; the trace simulator uses this to group static loads into
+    mutually independent slot batches. *)
+
+val evictions : t -> int
+(** Cumulative count of tagged aliasing evictions since [create]. *)
+
+val reset : t -> unit
+(** Return every slot to its just-created state in place: owners cleared,
+    kernels and confidence counters reset (O(1) per kernel — FCM tables
+    are invalidated by an epoch bump, not refilled). Allocated entries are
+    kept for reuse, so a reset table behaves exactly like a fresh
+    [create] with the same parameters without re-allocating any kernel;
+    only the cumulative [evictions] counter keeps counting. The trace
+    simulator pools its default table through this. *)
+
+val populated : t -> int
+(** Number of slots whose entry has ever been allocated (whether claimed
+    right now or not) — the table's resident footprint in kernels. *)
+
+val run_slot_uniform :
+  t -> pc:int -> int array -> len:int -> correct:Bytes.t -> unit
+(** Replay a slot owned by a single PC: the interleaved predict-and-train
+    sequence for [values.(0 .. len-1)] in one unboxed kernel call,
+    writing per-occurrence outcomes (['\001'] = predicted correctly) into
+    [correct]. Equivalent to [len] calls of {!predict_and_train} with the
+    same [pc]. [len = 0] does not touch (or claim) the slot. Raises
+    [Invalid_argument] if [len] exceeds either buffer. *)
+
+val run_slot :
+  t -> pcs:int array -> int array -> len:int -> correct:Bytes.t -> unit
+(** Like {!run_slot_uniform} for a slot shared by aliasing PCs:
+    [pcs.(k)] is the PC of touch [k] in schedule order, so tag evictions
+    fire in exactly the scalar path's sequence. Equivalent to [len]
+    calls of {!predict_and_train}. Raises [Invalid_argument] if [len]
+    exceeds any buffer. *)

@@ -107,6 +107,34 @@ let test_telemetry_spec_eval () =
       "\"scalar_fallbacks\"";
     ]
 
+(* The hardware-validation run must surface the trace simulator's counters
+   as a [trace_sim] section. Field presence only — [fast_enabled]'s value
+   depends on the inherited [VP_NO_TRACE_FAST], and exactly one of
+   [fast_runs]/[scalar_runs] is non-zero accordingly. *)
+let test_telemetry_trace_sim () =
+  let code, err =
+    run [ "hardware"; "-b"; "compress"; "--telemetry"; "-" ]
+  in
+  checki "exit 0" 0 code;
+  List.iter
+    (fun field ->
+      checkb
+        (Printf.sprintf "telemetry has %S" field)
+        true (contains_sub err field))
+    [
+      "\"trace_sim\"";
+      "\"fast_enabled\"";
+      "\"fast_runs\"";
+      "\"scalar_runs\"";
+      "\"memo_hits\"";
+      "\"engine_replays\"";
+      "\"alias_evictions\"";
+    ];
+  (* the run simulated something: at least one block execution reached the
+     engine, whichever lane ran *)
+  checkb "engine replays recorded" true
+    (not (contains_sub err "\"engine_replays\": 0,"))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "vliw_vp_cli"
@@ -119,5 +147,9 @@ let () =
           tc "bad flag value" test_bad_flag_value;
           tc "valid command unaffected" test_valid_command_still_works;
         ] );
-      ("telemetry", [ tc "spec_eval section" test_telemetry_spec_eval ]);
+      ( "telemetry",
+        [
+          tc "spec_eval section" test_telemetry_spec_eval;
+          tc "trace_sim section" test_telemetry_trace_sim;
+        ] );
     ]
